@@ -1,0 +1,69 @@
+"""Benchmark A1 — ablations the paper's §3.1/§7 motivate:
+
+* restore strategy: eager vs lazy page population, disk vs in-memory
+  image cache (future work [26]);
+* snapshot point: after runtime boot vs after ready vs after warm-up.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    ablation_bake_timing,
+    ablation_restore,
+    ablation_snapshot_point,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_restore_strategy(benchmark, bench_reps, record_result):
+    reps = max(20, bench_reps // 2)
+    result = benchmark.pedantic(
+        lambda: ablation_restore(repetitions=reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("ablation_restore", result.render())
+    rows = {(f, v): m for f, v, m in result.rows}
+    for (function, variant), median_ms in rows.items():
+        benchmark.extra_info[f"{function}_{variant}_ms"] = round(median_ms, 2)
+    for function in ("synthetic-small", "synthetic-big"):
+        eager_disk = rows[(function, "eager-disk")]
+        # In-memory images restore faster; lazy population reaches
+        # readiness sooner (it defers the page cost to the 1st request).
+        assert rows[(function, "eager-inmem")] < eager_disk
+        assert rows[(function, "lazy-disk")] < eager_disk
+        assert rows[(function, "lazy-inmem")] <= rows[(function, "lazy-disk")] * 1.02
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_snapshot_point(benchmark, bench_reps, record_result):
+    reps = max(20, bench_reps // 2)
+    result = benchmark.pedantic(
+        lambda: ablation_snapshot_point(repetitions=reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("ablation_snapshot_point", result.render())
+    rows = {(f, v): m for f, v, m in result.rows}
+    for (function, variant), median_ms in rows.items():
+        benchmark.extra_info[f"{function}_{variant}_ms"] = round(median_ms, 2)
+    # The later the snapshot, the faster the first response.
+    assert (rows[("synthetic-medium", "after-warmup-1")]
+            < rows[("synthetic-medium", "after-ready")]
+            < rows[("synthetic-medium", "after-runtime-boot")])
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_bake_timing(benchmark, bench_reps, record_result):
+    reps = max(15, bench_reps // 4)
+    result = benchmark.pedantic(
+        lambda: ablation_bake_timing(repetitions=reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("ablation_bake_timing", result.render())
+    rows = {(f, v): m for f, v, m in result.rows}
+    for (function, variant), median_ms in rows.items():
+        benchmark.extra_info[f"{function}_{variant}_ms"] = round(median_ms, 2)
+    # Baking at build time keeps the checkpoint off the request path:
+    # lazy baking makes the first cold start *worse* than vanilla.
+    for function in ("markdown", "synthetic-medium"):
+        assert rows[(function, "bake-at-build")] < \
+            0.5 * rows[(function, "bake-on-first-start")]

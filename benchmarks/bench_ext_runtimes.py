@@ -1,0 +1,32 @@
+"""Extension benchmark — §7 future work: prebaking across runtimes.
+
+JVM vs CPython vs Node.js hosting the same markdown workload, vanilla
+vs warm prebake. Non-JVM runtime constants are projections; assertions
+only check the relative picture.
+"""
+
+import pytest
+
+from repro.bench.figures import ext_runtimes
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_runtimes(benchmark, bench_reps, record_result):
+    reps = max(20, bench_reps // 2)
+    result = benchmark.pedantic(
+        lambda: ext_runtimes(repetitions=reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("ext_runtimes", result.render())
+    rows = {(f, v): m for f, v, m in result.rows}
+    for (function, variant), median_ms in rows.items():
+        benchmark.extra_info[f"{function}_{variant}_ms"] = round(median_ms, 2)
+    # Prebaking helps every runtime...
+    for function in ("markdown", "py-markdown", "node-markdown"):
+        assert rows[(function, "prebake-warm")] < rows[(function, "vanilla")]
+    # ...and helps most where bootstrap + lazy-load state is largest:
+    # JVM and Node gain far more than the cheap-booting CPython.
+    def gain(function):
+        return rows[(function, "vanilla")] / rows[(function, "prebake-warm")]
+    assert gain("markdown") > gain("py-markdown")
+    assert gain("node-markdown") > gain("py-markdown")

@@ -1,0 +1,32 @@
+"""Benchmark E1 — Figure 3: start-up time of NOOP / Markdown Render /
+Image Resizer under vanilla vs prebaking (200 reps, bootstrap CIs).
+
+Paper expectations: improvements of 40 % (NOOP), 47 % (Markdown,
+100→53 ms) and 71 % (Image Resizer, 310→87 ms); disjoint confidence
+intervals; Mann–Whitney rejects median equality.
+"""
+
+import pytest
+
+from repro.bench.figures import PAPER_FIG3_IMPROVEMENT, figure3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_startup(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: figure3(repetitions=bench_reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("fig3_startup", result.render())
+    for row in result.rows:
+        benchmark.extra_info[f"{row.function}_vanilla_ms"] = round(
+            row.vanilla.median_ms, 2)
+        benchmark.extra_info[f"{row.function}_prebake_ms"] = round(
+            row.prebake.median_ms, 2)
+        benchmark.extra_info[f"{row.function}_improvement_pct"] = round(
+            row.improvement_pct, 1)
+        # Shape assertions against the paper.
+        paper = PAPER_FIG3_IMPROVEMENT[row.function]
+        assert row.improvement_pct == pytest.approx(paper, abs=4.0)
+        assert row.mwu_p < 0.01
+        assert not row.vanilla.ci().overlaps(row.prebake.ci())

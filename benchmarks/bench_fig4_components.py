@@ -1,0 +1,38 @@
+"""Benchmark E2 — Figure 4: CLONE/EXEC/RTS/APPINIT phase breakdown.
+
+Paper expectations: CLONE+EXEC are a tiny fraction; vanilla RTS ≈ 70 ms
+for every function; prebaking drives RTS to 0 and start-up becomes
+APPINIT-dominated; vanilla APPINIT(resizer)/APPINIT(noop) ≈ 7.18,
+dropping to ≈ 1.43 under prebaking.
+"""
+
+import pytest
+
+from repro.bench.figures import figure4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_components(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: figure4(repetitions=bench_reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("fig4_components", result.render())
+    for cell in result.cells:
+        key = f"{cell.function}_{cell.technique}"
+        benchmark.extra_info[f"{key}_rts_ms"] = round(cell.phases["RTS"], 2)
+        benchmark.extra_info[f"{key}_appinit_ms"] = round(cell.phases["APPINIT"], 2)
+        tiny = cell.phases["CLONE"] + cell.phases["EXEC"]
+        assert tiny < 0.05 * cell.total_ms
+        if cell.technique == "vanilla":
+            assert cell.phases["RTS"] == pytest.approx(70.0, rel=0.05)
+        else:
+            assert cell.phases["RTS"] == 0.0
+    ratio_vanilla = (result.cell("image-resizer", "vanilla").phases["APPINIT"]
+                     / result.cell("noop", "vanilla").phases["APPINIT"])
+    ratio_prebake = (result.cell("image-resizer", "prebake").phases["APPINIT"]
+                     / result.cell("noop", "prebake").phases["APPINIT"])
+    benchmark.extra_info["appinit_ratio_vanilla"] = round(ratio_vanilla, 2)
+    benchmark.extra_info["appinit_ratio_prebake"] = round(ratio_prebake, 2)
+    assert ratio_vanilla == pytest.approx(7.18, abs=1.0)
+    assert ratio_prebake == pytest.approx(1.43, abs=0.3)

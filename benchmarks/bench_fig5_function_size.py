@@ -1,0 +1,26 @@
+"""Benchmark E3 — Figure 5: function size impact on vanilla start-up.
+
+Paper expectations (Table 1 vanilla column): small ≈ 220 ms,
+medium ≈ 456 ms, big ≈ 1621 ms — monotone growth with code size.
+"""
+
+import pytest
+
+from repro.bench.figures import PAPER_TABLE1, figure5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_function_size(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: figure5(repetitions=bench_reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("fig5_function_size", result.render())
+    medians = []
+    for summary in result.summaries:
+        benchmark.extra_info[f"{summary.function}_ms"] = round(summary.median_ms, 2)
+        paper_low, paper_high = PAPER_TABLE1[summary.function]["vanilla"]
+        paper_mid = (paper_low + paper_high) / 2
+        assert summary.median_ms == pytest.approx(paper_mid, rel=0.05)
+        medians.append(summary.median_ms)
+    assert medians[0] < medians[1] < medians[2]

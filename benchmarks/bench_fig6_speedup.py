@@ -1,0 +1,33 @@
+"""Benchmark E4 — Figure 6: prebaking speed-up vs vanilla, with and
+without warm-up, across function sizes.
+
+Paper expectations: PB-NOWarmup ≈ 127.45 % (small) / 121.07 % (big);
+PB-Warmup ≈ 403.96 % (small) / 1932.49 % (big) — the warm-up gain grows
+with function size.
+"""
+
+import pytest
+
+from repro.bench.figures import PAPER_FIG6_RATIOS, factorial
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_speedup(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: factorial(repetitions=bench_reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("fig6_speedup", result.render_figure6())
+    warm_ratios = []
+    for name in ("synthetic-small", "synthetic-medium", "synthetic-big"):
+        nowarm = result.ratio_pct(name, "nowarmup")
+        warm = result.ratio_pct(name, "warmup")
+        benchmark.extra_info[f"{name}_nowarmup_pct"] = round(nowarm, 2)
+        benchmark.extra_info[f"{name}_warmup_pct"] = round(warm, 2)
+        warm_ratios.append(warm)
+        paper = PAPER_FIG6_RATIOS.get(name)
+        if paper:
+            assert nowarm == pytest.approx(paper["nowarmup"], abs=10.0)
+            assert warm == pytest.approx(paper["warmup"], rel=0.08)
+    # The headline: warm-up speed-up grows with code size.
+    assert warm_ratios[0] < warm_ratios[1] < warm_ratios[2]

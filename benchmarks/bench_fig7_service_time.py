@@ -1,0 +1,29 @@
+"""Benchmark E6 — Figure 7: service-time ECDFs after start-up.
+
+Paper expectation: "Both ECDFs pretty much coincide, thus a good
+indication that the prebaking technique does not lead to any
+performance penalty after the functions are restored."
+"""
+
+import pytest
+
+from repro.bench.figures import figure7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_service_time(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: figure7(requests=bench_reps, seed=42),
+        rounds=1, iterations=1,
+    )
+    record_result("fig7_service_time", result.render())
+    for row in result.rows:
+        benchmark.extra_info[f"{row.function}_vanilla_med_ms"] = round(
+            row.vanilla.median_ms, 3)
+        benchmark.extra_info[f"{row.function}_prebake_med_ms"] = round(
+            row.prebake.median_ms, 3)
+        benchmark.extra_info[f"{row.function}_ks"] = round(row.ks, 3)
+        # No service-time penalty: distributions indistinguishable.
+        assert row.mwu_p > 0.05
+        assert row.ks < 0.2
+        assert row.vanilla.errors == 0 and row.prebake.errors == 0

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the checkpoint/restore engine itself.
+
+These measure *host* wall-clock of the simulation substrate (how fast
+the model executes), complementing the virtual-time experiment benches.
+Useful to keep the simulator fast enough for 200-rep protocols.
+"""
+
+import pytest
+
+from repro import make_world
+from repro.criu.checkpoint import CheckpointEngine
+from repro.criu.restore import RestoreEngine
+
+
+def _world_with_process(mib: float):
+    world = make_world(seed=1)
+    proc = world.kernel.clone(world.kernel.init_process)
+    proc.address_space.grow_anon("heap", mib)
+    return world, proc
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("mib", [13.0, 99.2])
+def test_micro_dump(benchmark, mib):
+    world, proc = _world_with_process(mib)
+    engine = CheckpointEngine(world.kernel)
+    image = benchmark(lambda: engine.dump(proc, leave_running=True))
+    assert image.total_mib == pytest.approx(mib, abs=1.0)
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("mib", [13.0, 99.2])
+def test_micro_restore(benchmark, mib):
+    world, proc = _world_with_process(mib)
+    image = CheckpointEngine(world.kernel).dump(proc, leave_running=False)
+    engine = RestoreEngine(world.kernel)
+    restored = benchmark(lambda: engine.restore(image))
+    assert restored.address_space.rss_mib == pytest.approx(mib, abs=0.1)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_markdown_render(benchmark):
+    from repro.functions.markdown import SAMPLE_DOCUMENT
+    from repro.functions.markdown_engine import render_document
+    html = benchmark(lambda: render_document(SAMPLE_DOCUMENT))
+    assert "<h1>" in html
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_image_resize(benchmark):
+    from repro.functions.imaging.generate import synthetic_photo
+    from repro.functions.imaging.resize import scale_to_fraction
+    photo = synthetic_photo(688, 288)
+    thumb = benchmark(lambda: scale_to_fraction(photo, 0.10))
+    assert thumb.size == (69, 29)

@@ -1,0 +1,34 @@
+"""Benchmark A2 — real-process start-up on this host.
+
+Vanilla fork-exec of a fresh CPython vs forking out of a warm zygote —
+the machine-level analog of the paper's comparison. The absolute
+numbers are host-specific; the shape (state reuse wins by a large
+factor) must hold.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.stats import median
+from repro.realproc import compare_startup
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="requires a POSIX host")
+
+REAL_REPS = int(os.environ.get("REPRO_REAL_REPS", "10"))
+
+
+@pytest.mark.benchmark(group="real")
+@pytest.mark.parametrize("function", ["noop", "markdown", "image-resizer"])
+def test_real_startup(benchmark, function, record_result):
+    comparison = benchmark.pedantic(
+        lambda: compare_startup(function, repetitions=REAL_REPS),
+        rounds=1, iterations=1,
+    )
+    record_result(f"real_startup_{function}", comparison.render())
+    benchmark.extra_info["vanilla_ms"] = round(comparison.vanilla_median, 1)
+    benchmark.extra_info["zygote_ms"] = round(comparison.zygote_median, 1)
+    benchmark.extra_info["improvement_pct"] = round(comparison.improvement_pct, 1)
+    # The prebake analog must win decisively on any host.
+    assert comparison.zygote_median < 0.5 * comparison.vanilla_median

@@ -1,0 +1,29 @@
+"""Benchmark E7 — Section 5: OpenFaaS integration feasibility.
+
+Drives faas-cli new → build (with build-time checkpoint) → push →
+deploy → cold start for vanilla and CRIU templates. Expectation: the
+snapshot ships inside the image, restore needs --privileged, and the
+prebaked cold start beats the vanilla one.
+"""
+
+import pytest
+
+from repro.bench.figures import section5
+
+
+@pytest.mark.benchmark(group="sec5")
+def test_sec5_openfaas_integration(benchmark, record_result):
+    result = benchmark.pedantic(lambda: section5(seed=42),
+                                rounds=1, iterations=1)
+    record_result("sec5_openfaas", result.render())
+    colds = {(fn, tpl): cold for fn, tpl, _build, cold in result.rows}
+    builds = {(fn, tpl): build for fn, tpl, build, _cold in result.rows}
+    for (fn, tpl), cold in colds.items():
+        benchmark.extra_info[f"{fn}@{tpl}_cold_ms"] = round(cold, 2)
+    # Prebaked templates halve the markdown cold start.
+    vanilla = colds[("markdown", "java8")]
+    assert colds[("markdown", "java8-criu")] < 0.7 * vanilla
+    assert colds[("markdown", "java8-criu-warm")] < 0.7 * vanilla
+    # Baking happens at build time: CRIU builds are slower, cold
+    # starts are not delayed by it.
+    assert builds[("markdown", "java8-criu")] > builds[("markdown", "java8")]

@@ -1,0 +1,32 @@
+"""Benchmark E5 — Table 1: 95 % confidence intervals for start-up time
+across {Vanilla, PB-NOWarmup, PB-Warmup} x {small, medium, big}.
+
+Paper expectations: each measured interval lands within a few percent
+of the published one; within each size, Warmup < NOWarmup < Vanilla.
+"""
+
+import pytest
+
+from repro.bench.figures import PAPER_TABLE1, SYNTHETIC_FUNCTIONS, factorial
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_intervals(benchmark, bench_reps, record_result):
+    result = benchmark.pedantic(
+        lambda: factorial(repetitions=bench_reps, seed=43),
+        rounds=1, iterations=1,
+    )
+    record_result("table1_intervals", result.render_table1())
+    for name in SYNTHETIC_FUNCTIONS:
+        for treatment in ("vanilla", "nowarmup", "warmup"):
+            summary = result.summary(name, treatment)
+            ci = summary.ci()
+            benchmark.extra_info[f"{name}_{treatment}"] = (
+                f"({ci.low:.2f};{ci.high:.2f})")
+            paper_low, paper_high = PAPER_TABLE1[name][treatment]
+            paper_mid = (paper_low + paper_high) / 2
+            tolerance = 0.10 if treatment == "warmup" else 0.06
+            assert summary.median_ms == pytest.approx(paper_mid, rel=tolerance)
+        assert (result.summary(name, "warmup").median_ms
+                < result.summary(name, "nowarmup").median_ms
+                < result.summary(name, "vanilla").median_ms)

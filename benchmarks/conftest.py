@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_REPS`` controls repetitions per treatment (default 200,
+the paper's protocol). Every benchmark writes its rendered paper-style
+table to ``benchmarks/results/<name>.txt`` so a bench run leaves the
+full reproduction record on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "200"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_reps() -> int:
+    return REPS
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a rendered experiment table to the results directory."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Checkpoint-as-a-service: concurrent snapshot generation (§7).
+
+A burst of deploys hits the build farm at once — every bake occupies a
+builder for its function's measured bake duration. Sweeping builder
+concurrency shows the queue-wait/throughput trade-off, and the
+snapshot-size effect (bigger functions bake longer) falls straight out
+of the calibrated substrate.
+
+Run: ``python examples/bake_farm_demo.py``
+"""
+
+from repro.core.bakery import bake_farm_sweep, measure_bake_duration
+from repro.core.policy import AfterWarmup
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    functions = ["noop", "markdown", "image-resizer", "synthetic-big"]
+    print("per-function bake durations (warm policy):")
+    for name in functions:
+        duration = measure_bake_duration(name, policy=AfterWarmup(1))
+        print(f"  {name:15s} {duration:8.1f} ms")
+
+    print("\n16 simultaneous deploys vs builder concurrency:")
+    results = bake_farm_sweep(functions, submissions=16,
+                              worker_counts=[1, 2, 4, 8])
+    rows = []
+    for workers, metrics in sorted(results.items()):
+        rows.append([
+            str(workers),
+            f"{metrics.makespan_ms:9.1f}",
+            f"{metrics.wait_quantile(0.5):9.1f}",
+            f"{metrics.wait_quantile(0.9):9.1f}",
+        ])
+    print(format_table(
+        ["builders", "makespan(ms)", "p50 wait(ms)", "p90 wait(ms)"], rows))
+
+
+if __name__ == "__main__":
+    main()

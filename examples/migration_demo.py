@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Live replica migration with iterative checkpoints.
+
+Migrates a serving Markdown replica between (simulated) nodes, sweeping
+the number of pre-dump rounds and showing the downtime/total-time
+trade-off — plus an image diff between function versions to show how
+much snapshot registries could deduplicate.
+
+Run: ``python examples/migration_demo.py``
+"""
+
+from repro import make_world
+from repro.core.bake import Prebaker
+from repro.core.starters import VanillaStarter
+from repro.criu.imgdiff import diff_images
+from repro.criu.migrate import Migrator
+from repro.functions import make_app
+from repro.runtime.base import Request
+
+
+def main() -> None:
+    print("== live migration: pre-dump rounds vs downtime ==")
+    for rounds in (0, 1, 2):
+        world = make_world(seed=30 + rounds)
+        kernel = world.kernel
+        handle = VanillaStarter(kernel).start(make_app("markdown"))
+        handle.invoke(Request(body="# pre-migration traffic"))
+
+        def churn(h=handle):
+            # The replica keeps serving while pre-dumps stream.
+            h.invoke(Request(body="# concurrent request"))
+
+        report = Migrator(kernel).migrate(
+            handle.process, pre_dump_rounds=rounds,
+            workload_between_rounds=churn,
+        )
+        survivor = kernel.get(report.restored_pid)
+        response = survivor.payload["runtime"].handle(
+            Request(body="# post-migration"))
+        print(f"  rounds={rounds}: downtime {report.downtime_ms:6.1f} ms, "
+              f"total {report.total_ms:6.1f} ms, final dump "
+              f"{report.final_pages} pages, survivor serves: {response.ok}")
+
+    print("\n== snapshot diff across function versions ==")
+    world = make_world(seed=40)
+    prebaker = Prebaker(world.kernel)
+    v1 = prebaker.bake(make_app("markdown"), version=1)
+    v2 = prebaker.bake(make_app("markdown"), version=2)
+    diff = diff_images(v1.image, v2.image)
+    print(diff.summary())
+    print(f"→ a content-addressed registry would ship only "
+          f"{diff.delta_bytes / (1024 * 1024):.1f} MiB for v2.")
+
+
+if __name__ == "__main__":
+    main()

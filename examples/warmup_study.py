@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The §4.2.2 sensitivity study: when should the snapshot be taken?
+
+Sweeps the snapshot point (after runtime boot → after ready → after
+1/5 warm-up requests) across the paper's three synthetic function sizes
+and prints the start-up speed-up each choice buys. This is the paper's
+central finding: snapshotting a *warmed* function turns a ~25 %
+improvement into a 4x-19x one, and the gain grows with code size.
+
+Run: ``python examples/warmup_study.py [repetitions]``
+"""
+
+import sys
+
+from repro.bench.harness import run_startup_experiment
+from repro.bench.report import format_table
+from repro.core.policy import AfterReady, AfterRuntimeBoot, AfterWarmup
+
+SIZES = ("synthetic-small", "synthetic-medium", "synthetic-big")
+POINTS = (
+    ("vanilla (no snapshot)", "vanilla", AfterReady()),
+    ("after runtime boot", "prebake", AfterRuntimeBoot()),
+    ("after ready (PB-NOWarmup)", "prebake", AfterReady()),
+    ("after 1 request (PB-Warmup)", "prebake", AfterWarmup(1)),
+    ("after 5 requests", "prebake", AfterWarmup(5)),
+)
+
+
+def main() -> None:
+    repetitions = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    rows = []
+    vanilla_medians = {}
+    for size in SIZES:
+        for label, technique, policy in POINTS:
+            summary = run_startup_experiment(
+                size, technique, policy=policy,
+                repetitions=repetitions, seed=7,
+                metric="first_response",
+            )
+            if technique == "vanilla":
+                vanilla_medians[size] = summary.median_ms
+            speedup = 100.0 * vanilla_medians[size] / summary.median_ms
+            rows.append([
+                size.replace("synthetic-", ""),
+                label,
+                f"{summary.median_ms:9.2f}",
+                f"{speedup:8.2f}%",
+            ])
+    print(f"Snapshot-point sensitivity ({repetitions} reps, "
+          "time to first response)\n")
+    print(format_table(
+        ["size", "snapshot point", "median ms", "speed-up"], rows))
+    print("\nPaper reference points: PB-NOWarmup 127.45% / PB-Warmup "
+          "403.96% (small); 121.07% / 1932.49% (big).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so ``pip install
+-e .`` must use the legacy ``setup.py develop`` path; metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+# Older setuptools (this host has 65.x) does not wire [project.scripts]
+# from pyproject.toml through the legacy develop path — declare the
+# console script here too.
+setup(
+    entry_points={
+        "console_scripts": [
+            "prebake-bench = repro.bench.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,137 @@
+"""``prebake-bench``: run the paper's experiments from the shell.
+
+Examples::
+
+    prebake-bench --list
+    prebake-bench fig3 --repetitions 200
+    prebake-bench all --repetitions 100 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.bench import figures
+
+
+def _run_fig3(args) -> str:
+    return figures.figure3(repetitions=args.repetitions, seed=args.seed).render()
+
+
+def _run_fig4(args) -> str:
+    return figures.figure4(repetitions=args.repetitions, seed=args.seed).render()
+
+
+def _run_fig5(args) -> str:
+    return figures.figure5(repetitions=args.repetitions, seed=args.seed).render()
+
+
+def _run_factorial(args) -> str:
+    result = figures.factorial(repetitions=args.repetitions, seed=args.seed)
+    return result.render_figure6() + "\n\n" + result.render_table1()
+
+
+def _run_fig7(args) -> str:
+    return figures.figure7(requests=args.repetitions, seed=args.seed).render()
+
+
+def _run_sec5(args) -> str:
+    return figures.section5(seed=args.seed).render()
+
+
+def _run_ablation_restore(args) -> str:
+    return figures.ablation_restore(
+        repetitions=max(10, args.repetitions // 2), seed=args.seed
+    ).render()
+
+
+def _run_ablation_snapshot(args) -> str:
+    return figures.ablation_snapshot_point(
+        repetitions=max(10, args.repetitions // 2), seed=args.seed
+    ).render()
+
+
+def _run_ablation_bake_timing(args) -> str:
+    return figures.ablation_bake_timing(
+        repetitions=max(10, args.repetitions // 4), seed=args.seed
+    ).render()
+
+
+def _run_ext_runtimes(args) -> str:
+    return figures.ext_runtimes(
+        repetitions=max(10, args.repetitions // 2), seed=args.seed
+    ).render()
+
+
+def _run_ext_pool(args) -> str:
+    from repro.bench.arrivals import bursty_arrivals
+    from repro.bench.platform_study import compare_strategies, render_study
+    trace = bursty_arrivals(burst_rate_per_s=20, duration_ms=600_000,
+                            mean_on_ms=2_000, mean_off_ms=60_000,
+                            seed=args.seed)
+    results = compare_strategies("markdown", trace,
+                                 idle_timeout_ms=30_000, pool_size=1)
+    return render_study(results, "Bursty trace (10 min), markdown, "
+                                 "30 s idle timeout")
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_factorial,
+    "table1": _run_factorial,
+    "fig7": _run_fig7,
+    "sec5": _run_sec5,
+    "ablation-restore": _run_ablation_restore,
+    "ablation-snapshot": _run_ablation_snapshot,
+    "ablation-bake-timing": _run_ablation_bake_timing,
+    "ext-runtimes": _run_ext_runtimes,
+    "ext-pool": _run_ext_pool,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prebake-bench",
+        description="Reproduce the tables and figures of the Prebaking paper.",
+    )
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help="experiment id (see --list) or 'all'")
+    parser.add_argument("--repetitions", "-r", type=int, default=200,
+                        help="repetitions per treatment (paper: 200)")
+    parser.add_argument("--seed", "-s", type=int, default=42,
+                        help="master RNG seed")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        names = [n for n in EXPERIMENTS if n != "table1"]  # fig6 covers it
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        output = EXPERIMENTS[name](args)
+        elapsed = time.time() - started
+        print(f"== {name} ({elapsed:.1f}s wall) " + "=" * 30)
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

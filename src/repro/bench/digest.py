@@ -1,0 +1,144 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+Platform metrics (gateway latency percentiles, autoscaler signals)
+cannot retain every sample; the P² algorithm (Jain & Chlamtac, 1985)
+maintains a target quantile with five markers in O(1) memory and O(1)
+per observation. :class:`LatencyDigest` bundles the usual operational
+percentiles; the tests validate accuracy against exact quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class P2Quantile:
+    """One streaming quantile estimator."""
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: List[float] = []
+        # Marker state after initialization:
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Feed one observation."""
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        self.count += 1
+        if self._heights:
+            self._observe_initialized(value)
+            return
+        self._initial.append(value)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            self._heights = list(self._initial)
+            self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+            self._desired = [1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q,
+                             3.0 + 2.0 * self.q, 5.0]
+
+    def _observe_initialized(self, value: float) -> None:
+        h, pos = self._heights, self._positions
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            delta = self._desired[i] - pos[i]
+            if (delta >= 1.0 and pos[i + 1] - pos[i] > 1.0) or \
+               (delta <= -1.0 and pos[i - 1] - pos[i] < -1.0):
+                direction = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, direction)
+                pos[i] += direction
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.count == 0:
+            return 0.0
+        if not self._heights:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1,
+                        max(0, math.ceil(self.q * len(ordered)) - 1))
+            return ordered[index]
+        return self._heights[2]
+
+
+class LatencyDigest:
+    """Bundle of P² estimators for the usual operational percentiles."""
+
+    DEFAULT_QUANTILES = (0.50, 0.90, 0.99)
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self._estimators: Dict[float, P2Quantile] = {
+            q: P2Quantile(q) for q in quantiles
+        }
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    def quantile(self, q: float) -> float:
+        estimator = self._estimators.get(q)
+        if estimator is None:
+            raise KeyError(
+                f"quantile {q} not tracked; tracked: {sorted(self._estimators)}"
+            )
+        return estimator.value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        out = {"count": float(self.count), "mean": self.mean}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        for q, estimator in sorted(self._estimators.items()):
+            out[f"p{int(q * 100)}"] = estimator.value
+        return out

@@ -1,0 +1,184 @@
+"""Experiment runner: the paper's 200-repetition factorial protocol.
+
+"Each experiment treatment was repeated 200 times. The load generator
+and the function runtime was restarted before a run" (§4.1) — so every
+repetition here builds a *fresh* simulated world (new kernel, new page
+cache, new RNG substream), deploys, measures one start-up, and tears
+everything down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro import make_world
+from repro.bench.stats import ConfidenceInterval, bootstrap_median_ci, median
+from repro.bench.tracer import PhaseBreakdown, PhaseTracer
+from repro.bench.workload import LoadGenerator
+from repro.core.manager import PrebakeManager
+from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.criu.restore import RestoreMode
+from repro.functions.base import FunctionApp, make_app
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.rng import _derive_seed
+
+AppFactory = Callable[[], FunctionApp]
+
+
+def _resolve_factory(function) -> AppFactory:
+    if callable(function):
+        return function
+    return lambda: make_app(function)
+
+
+@dataclass
+class StartupSample:
+    """One repetition's measurement."""
+
+    repetition: int
+    startup_ms: float
+    snapshot_mib: float = 0.0
+    phases: Optional[PhaseBreakdown] = None
+
+
+@dataclass
+class StartupSummary:
+    """All repetitions of one treatment."""
+
+    function: str
+    technique: str
+    policy_key: str
+    metric: str
+    samples: List[StartupSample] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[float]:
+        return [s.startup_ms for s in self.samples]
+
+    @property
+    def median_ms(self) -> float:
+        return median(self.values)
+
+    def ci(self, confidence: float = 0.95, seed: int = 0) -> ConfidenceInterval:
+        return bootstrap_median_ci(self.values, confidence=confidence, seed=seed)
+
+    def phase_medians(self) -> PhaseBreakdown:
+        phased = [s.phases for s in self.samples if s.phases is not None]
+        if not phased:
+            raise ValueError("experiment did not trace phases")
+        return PhaseBreakdown(
+            clone_ms=median([p.clone_ms for p in phased]),
+            exec_ms=median([p.exec_ms for p in phased]),
+            rts_ms=median([p.rts_ms for p in phased]),
+            appinit_ms=median([p.appinit_ms for p in phased]),
+        )
+
+
+def run_startup_experiment(
+    function,
+    technique: str,
+    policy: SnapshotPolicy = AfterReady(),
+    repetitions: int = 200,
+    seed: int = 42,
+    metric: Optional[str] = None,
+    trace_phases: bool = False,
+    costs: CostModel = DEFAULT_COST_MODEL,
+    restore_mode: RestoreMode = RestoreMode.EAGER,
+    in_memory: bool = False,
+) -> StartupSummary:
+    """Measure start-up time over ``repetitions`` fresh worlds.
+
+    ``function`` is a registered name or an app factory. ``metric``
+    defaults to the function profile's own start-up metric ("ready"
+    for the paper's real functions, "first_response" for synthetic).
+    """
+    factory = _resolve_factory(function)
+    probe = factory()
+    resolved_metric = metric or probe.profile.startup_metric
+    summary = StartupSummary(
+        function=probe.name,
+        technique=technique,
+        policy_key=policy.key,
+        metric=resolved_metric,
+    )
+    for rep in range(repetitions):
+        world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs)
+        kernel = world.kernel
+        manager = PrebakeManager(kernel)
+        app = factory()
+        snapshot_mib = 0.0
+        if technique == "prebake":
+            report = manager.deploy(app, policy=policy)
+            snapshot_mib = report.snapshot_mib
+        tracer = PhaseTracer(kernel) if trace_phases else None
+        starter = manager.starter(
+            technique, policy=policy, restore_mode=restore_mode,
+            in_memory=in_memory,
+            version=manager.current_version(app.name) if technique == "prebake" else 1,
+        )
+        if tracer:
+            tracer.start_episode()
+        handle = starter.start(app)
+        if resolved_metric == "first_response":
+            handle.invoke()
+        if tracer:
+            tracer.stop_episode()
+        summary.samples.append(StartupSample(
+            repetition=rep,
+            startup_ms=handle.startup_ms(resolved_metric),
+            snapshot_mib=snapshot_mib,
+            phases=tracer.breakdown() if tracer else None,
+        ))
+    return summary
+
+
+@dataclass
+class ServiceSummary:
+    """Post-start-up service times of one treatment (Figure 7)."""
+
+    function: str
+    technique: str
+    service_times_ms: List[float] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def median_ms(self) -> float:
+        return median(self.service_times_ms)
+
+
+def run_service_experiment(
+    function,
+    technique: str,
+    policy: SnapshotPolicy = AfterReady(),
+    requests: int = 200,
+    interval_ms: float = 10.0,
+    seed: int = 42,
+    costs: CostModel = DEFAULT_COST_MODEL,
+) -> ServiceSummary:
+    """Measure ``requests`` sequential service times after one start-up.
+
+    Reproduces Figure 7's setup: "the empirical cumulative distribution
+    function (ECDF) of the service time for 200 requests applied to
+    [the] functions after being initialized by the prebaking and
+    vanilla technique."
+    """
+    factory = _resolve_factory(function)
+    world = make_world(seed=_derive_seed(seed, f"service-{technique}"), costs=costs)
+    kernel = world.kernel
+    manager = PrebakeManager(kernel)
+    app = factory()
+    if technique == "prebake":
+        manager.deploy(app, policy=policy)
+        starter = manager.starter(technique, policy=policy,
+                                  version=manager.current_version(app.name))
+    else:
+        starter = manager.starter(technique)
+    generator = LoadGenerator(kernel)
+    result = generator.run(starter, app, requests=requests, interval_ms=interval_ms)
+    return ServiceSummary(
+        function=app.name,
+        technique=technique,
+        service_times_ms=result.service_times,
+        errors=result.errors,
+    )

@@ -1,0 +1,111 @@
+"""Phase tracer — the repo's bpftrace (paper §4.2.1).
+
+"We divided the function start-up into four components (or phases):
+i) execution of the clone system call (CLONE), ii) execution of the
+exec system call (EXEC), iii) the period between the end of the exec
+call and the start of the main() procedure (runtime start-up - RTS)
+and iv) from the end of the RTS phase to when the function is ready to
+serve the first request (application initialization - APPINIT)."
+
+The tracer subscribes to the kernel probe registry and computes those
+boundaries from observed events; nothing is read out of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.osproc.kernel import Kernel
+from repro.osproc.probes import SyscallRecord
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Durations of the four start-up phases (ms)."""
+
+    clone_ms: float
+    exec_ms: float
+    rts_ms: float
+    appinit_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.clone_ms + self.exec_ms + self.rts_ms + self.appinit_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "CLONE": self.clone_ms,
+            "EXEC": self.exec_ms,
+            "RTS": self.rts_ms,
+            "APPINIT": self.appinit_ms,
+        }
+
+
+class TraceError(Exception):
+    """The observed event stream did not contain a full episode."""
+
+
+class PhaseTracer:
+    """Records one start-up episode's probe events and derives phases."""
+
+    WATCHED = ("clone", "execve", "runtime.main", "runtime.ready",
+               "runtime.first_response", "criu.restore")
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.events: List[SyscallRecord] = []
+        self._armed = False
+        for syscall in self.WATCHED:
+            kernel.probes.on_enter(syscall, self._record)
+            kernel.probes.on_exit(syscall, self._record)
+
+    def _record(self, record: SyscallRecord) -> None:
+        if self._armed:
+            self.events.append(record)
+
+    def start_episode(self) -> None:
+        """Begin recording (attach right before the replica start)."""
+        self.events = []
+        self._armed = True
+
+    def stop_episode(self) -> None:
+        self._armed = False
+
+    # -- analysis --------------------------------------------------------------
+
+    def _first(self, syscall: str, phase: str) -> Optional[SyscallRecord]:
+        for event in self.events:
+            if event.syscall == syscall and event.phase == phase:
+                return event
+        return None
+
+    def breakdown(self) -> PhaseBreakdown:
+        """Compute CLONE/EXEC/RTS/APPINIT from the recorded episode."""
+        clone_in = self._first("clone", "enter")
+        clone_out = self._first("clone", "exit")
+        exec_in = self._first("execve", "enter")
+        exec_out = self._first("execve", "exit")
+        ready = self._first("runtime.ready", "enter")
+        if not (clone_in and clone_out and exec_in and exec_out):
+            raise TraceError(
+                "episode is missing clone/exec events; events: "
+                + ", ".join(f"{e.syscall}:{e.phase}" for e in self.events)
+            )
+        if ready is None:
+            raise TraceError("episode never reached runtime.ready")
+        main = self._first("runtime.main", "enter")
+        if main is not None:
+            rts = main.timestamp - exec_out.timestamp
+            appinit_start = main.timestamp
+        else:
+            # Restored processes skip main(): RTS is identically zero
+            # ("prebaking brings the RTS down to 0ms", §4.2.1).
+            rts = 0.0
+            appinit_start = exec_out.timestamp
+        return PhaseBreakdown(
+            clone_ms=clone_out.timestamp - clone_in.timestamp,
+            exec_ms=exec_out.timestamp - exec_in.timestamp,
+            rts_ms=rts,
+            appinit_ms=ready.timestamp - appinit_start,
+        )

@@ -1,0 +1,173 @@
+"""Replica start methods: Vanilla (fork-exec) vs Prebake (restore).
+
+These are the two treatments of the paper's 2^2 factorial experiment
+(§4.1): "prebaking versus the usual start method, based on fork-exec
+system calls (henceforth, the Vanilla method)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.core.store import SnapshotKey, SnapshotStore
+from repro.criu.restore import RestoreEngine, RestoreMode
+from repro.functions.base import FunctionApp
+from repro.osproc.kernel import Kernel
+from repro.osproc.process import Process
+from repro.runtime import RUNTIME_KINDS
+from repro.runtime.base import ManagedRuntime, Request, Response
+
+
+class StartError(Exception):
+    """Replica could not be started."""
+
+
+RUNTIME_BINARIES = {
+    "jvm": "/opt/jvm/bin/java",
+    "python": "/usr/bin/python3",
+    "nodejs": "/usr/bin/node",
+}
+
+
+@dataclass
+class ReplicaHandle:
+    """A started function replica plus its start-up timeline."""
+
+    process: Process
+    runtime: ManagedRuntime
+    technique: str
+    spawned_at_ms: float
+    ready_at_ms: float
+    first_response_at_ms: Optional[float] = None
+
+    def invoke(self, request: Optional[Request] = None) -> Response:
+        """Send one request to the replica."""
+        request = request or Request()
+        request.arrival_ms = self.runtime.kernel.clock.now
+        response = self.runtime.handle(request)
+        if self.first_response_at_ms is None:
+            self.first_response_at_ms = response.finished_ms
+        return response
+
+    def startup_ms(self, metric: str = "ready") -> float:
+        """Start-up duration under the requested metric.
+
+        ``"ready"`` = spawn → ready-to-serve (paper's real functions);
+        ``"first_response"`` = spawn → first response (synthetic
+        functions, whose class loading triggers on first invocation).
+        """
+        if metric == "ready":
+            return self.ready_at_ms - self.spawned_at_ms
+        if metric == "first_response":
+            if self.first_response_at_ms is None:
+                raise StartError("no request has completed yet")
+            return self.first_response_at_ms - self.spawned_at_ms
+        raise ValueError(f"unknown startup metric {metric!r}")
+
+    def kill(self) -> None:
+        self.runtime.kernel.kill(self.process.pid)
+
+
+class Starter:
+    """Common interface for replica start methods."""
+
+    technique = "abstract"
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def start(self, app: FunctionApp, parent: Optional[Process] = None) -> ReplicaHandle:
+        raise NotImplementedError
+
+
+def launch_vanilla(kernel: Kernel, app: FunctionApp,
+                   parent: Optional[Process] = None) -> ReplicaHandle:
+    """The standard start path: clone, exec, runtime boot, app init."""
+    runtime_cls = RUNTIME_KINDS.get(app.runtime_kind)
+    if runtime_cls is None:
+        raise StartError(f"unknown runtime kind {app.runtime_kind!r}")
+    binary = RUNTIME_BINARIES[app.runtime_kind]
+    kernel.fs.ensure(binary, size=128 * 1024)
+    parent = parent or kernel.init_process
+    spawned_at = kernel.clock.now
+    proc = kernel.clone(parent, comm=app.runtime_kind)
+    kernel.execve(proc, binary, argv=[binary, "-jar", app.artifact_path()])
+    runtime = runtime_cls(kernel, proc)
+    runtime.boot()
+    runtime.load_application(app)
+    return ReplicaHandle(
+        process=proc,
+        runtime=runtime,
+        technique="vanilla",
+        spawned_at_ms=spawned_at,
+        ready_at_ms=kernel.clock.now,
+    )
+
+
+class VanillaStarter(Starter):
+    """fork-exec + full runtime bootstrap (the state of the practice)."""
+
+    technique = "vanilla"
+
+    def start(self, app: FunctionApp, parent: Optional[Process] = None) -> ReplicaHandle:
+        return launch_vanilla(self.kernel, app, parent=parent)
+
+
+class PrebakeStarter(Starter):
+    """Restore a previously baked snapshot instead of starting fresh."""
+
+    technique = "prebake"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        store: SnapshotStore,
+        policy: SnapshotPolicy = AfterReady(),
+        restore_mode: RestoreMode = RestoreMode.EAGER,
+        in_memory: bool = False,
+        version: int = 1,
+    ) -> None:
+        super().__init__(kernel)
+        self.store = store
+        self.policy = policy
+        self.restore_mode = restore_mode
+        self.in_memory = in_memory
+        self.version = version
+        self.restore_engine = RestoreEngine(kernel)
+
+    def snapshot_key(self, app: FunctionApp) -> SnapshotKey:
+        return SnapshotKey(
+            function=app.name,
+            runtime_kind=app.runtime_kind,
+            policy=self.policy.key,
+            version=self.version,
+        )
+
+    def start(self, app: FunctionApp, parent: Optional[Process] = None) -> ReplicaHandle:
+        kernel = self.kernel
+        image = self.store.get(self.snapshot_key(app))
+        spawned_at = kernel.clock.now
+        override = app.profile.restore_override_ms(image.warm)
+        proc = self.restore_engine.restore(
+            image,
+            parent=parent,
+            mode=self.restore_mode,
+            in_memory=self.in_memory,
+            duration_override_ms=override,
+        )
+        runtime = proc.payload.get("runtime")
+        if runtime is None:
+            raise StartError(f"snapshot {image.image_id} did not contain a runtime")
+        if not runtime.ready:
+            # Earlier-point snapshots (e.g. AfterRuntimeBoot) resume a
+            # booted-but-unloaded runtime; APPINIT still runs here.
+            runtime.load_application(app)
+        return ReplicaHandle(
+            process=proc,
+            runtime=runtime,
+            technique="prebake",
+            spawned_at_ms=spawned_at,
+            ready_at_ms=kernel.clock.now,
+        )

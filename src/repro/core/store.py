@@ -1,0 +1,91 @@
+"""Snapshot store: the registry function replicas restore from.
+
+"The same snapshot can be used to restore different Function Replicas
+because all of them have the same state at the beginning of the
+execution" (§3.1). The store keys snapshots by (function, runtime,
+policy, version) and tracks restore counts and byte usage so platform
+operators can reason about registry growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.criu.images import CheckpointImage
+
+
+class SnapshotNotFound(KeyError):
+    """No snapshot stored under the requested key."""
+
+
+@dataclass(frozen=True, order=True)
+class SnapshotKey:
+    """Identity of one baked snapshot."""
+
+    function: str
+    runtime_kind: str
+    policy: str
+    version: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.function}@v{self.version}/{self.runtime_kind}/{self.policy}"
+
+
+@dataclass
+class StoredSnapshot:
+    key: SnapshotKey
+    image: CheckpointImage
+    stored_at_ms: float
+    restore_count: int = 0
+
+
+class SnapshotStore:
+    """In-memory snapshot registry with usage accounting."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[SnapshotKey, StoredSnapshot] = {}
+
+    def put(self, key: SnapshotKey, image: CheckpointImage, now_ms: float = 0.0) -> None:
+        """Store (or replace — new function version) a snapshot."""
+        image.validate()
+        self._snapshots[key] = StoredSnapshot(key=key, image=image, stored_at_ms=now_ms)
+
+    def get(self, key: SnapshotKey) -> CheckpointImage:
+        entry = self._snapshots.get(key)
+        if entry is None:
+            raise SnapshotNotFound(
+                f"no snapshot for {key}; stored: {[str(k) for k in sorted(self._snapshots)]}"
+            )
+        entry.restore_count += 1
+        return entry.image
+
+    def peek(self, key: SnapshotKey) -> Optional[CheckpointImage]:
+        entry = self._snapshots.get(key)
+        return entry.image if entry else None
+
+    def contains(self, key: SnapshotKey) -> bool:
+        return key in self._snapshots
+
+    def delete(self, key: SnapshotKey) -> None:
+        if key not in self._snapshots:
+            raise SnapshotNotFound(str(key))
+        del self._snapshots[key]
+
+    def restore_count(self, key: SnapshotKey) -> int:
+        entry = self._snapshots.get(key)
+        return entry.restore_count if entry else 0
+
+    def keys(self) -> List[SnapshotKey]:
+        return sorted(self._snapshots)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.image.total_bytes for e in self._snapshots.values())
+
+    @property
+    def total_mib(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

@@ -1,0 +1,38 @@
+"""CRIU-style checkpoint/restore engine.
+
+Implements the protocol described in the paper's §3.2 over the
+simulated OS: freeze the target's threads, inject the parasite blob via
+ptrace, walk ``/proc/<pid>/pagemap`` to dump every resident page into
+an image file set, then detach; on restore, the criu process transmutes
+itself into the checkpointed process by recreating namespaces, open
+files and memory mappings. :mod:`repro.criu.cli` additionally drives a
+*real* ``criu`` binary via subprocess when one is installed.
+"""
+
+from repro.criu.images import CheckpointImage, ImageFile, VMADescriptor, FdDescriptor
+from repro.criu.checkpoint import CheckpointEngine, CheckpointError
+from repro.criu.restore import RestoreEngine, RestoreError, RestoreMode
+from repro.criu.cli import CriuCli, CriuUnavailableError
+from repro.criu.migrate import MigrationReport, Migrator
+from repro.criu.serialize import deserialize_image, serialize_image
+from repro.criu.imgdiff import ImageDiff, diff_images
+
+__all__ = [
+    "Migrator",
+    "MigrationReport",
+    "serialize_image",
+    "deserialize_image",
+    "ImageDiff",
+    "diff_images",
+    "CheckpointImage",
+    "ImageFile",
+    "VMADescriptor",
+    "FdDescriptor",
+    "CheckpointEngine",
+    "CheckpointError",
+    "RestoreEngine",
+    "RestoreError",
+    "RestoreMode",
+    "CriuCli",
+    "CriuUnavailableError",
+]

@@ -1,0 +1,146 @@
+"""Checkpoint image file set.
+
+CRIU writes a directory of ``*.img`` files per dump; the model mirrors
+the important ones (``pstree``, ``core``, ``mm``, ``pagemap``,
+``pages-1``, ``files``, ``inventory``) with faithful size accounting —
+the ``pages-1.img`` size is exactly the dumped resident set, which is
+the quantity that drives restore latency in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.osproc.memory import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class VMADescriptor:
+    """Serialized form of one VMA."""
+
+    start: int
+    length: int
+    kind: str
+    prot: str
+    label: str
+    file_path: Optional[str]
+    file_offset: int
+    file_size: int
+    resident_indices: tuple
+    content_tags: tuple  # parallel to resident_indices
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.resident_indices)
+
+
+@dataclass(frozen=True)
+class FdDescriptor:
+    """Serialized form of one open file descriptor."""
+
+    fd: int
+    path: str
+    offset: int
+    flags: str
+    is_socket: bool
+    file_size: int = 0
+
+
+@dataclass
+class ImageFile:
+    """One ``*.img`` file inside the image directory."""
+
+    name: str
+    size_bytes: int
+    payload: Any = None
+
+
+@dataclass
+class CheckpointImage:
+    """A complete dump of one process."""
+
+    image_id: str
+    pid: int
+    comm: str
+    argv: List[str]
+    created_at_ms: float
+    namespace_ids: Dict[str, int]
+    vmas: List[VMADescriptor]
+    fds: List[FdDescriptor]
+    runtime_state: Optional[Dict[str, Any]]
+    files: Dict[str, ImageFile] = field(default_factory=dict)
+    parent_image_id: Optional[str] = None  # set for incremental pre-dumps
+    warm: bool = False  # snapshot taken after >= 1 request (prebake-warmup)
+
+    # -- size accounting ----------------------------------------------------------
+
+    @property
+    def pages_bytes(self) -> int:
+        return sum(v.resident_pages for v in self.vmas) * PAGE_SIZE
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.files.values())
+
+    @property
+    def total_mib(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+    @property
+    def resident_pages(self) -> int:
+        return sum(v.resident_pages for v in self.vmas)
+
+    def file(self, name: str) -> ImageFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise KeyError(
+                f"image {self.image_id!r} has no file {name!r}; has {sorted(self.files)}"
+            ) from None
+
+    def validate(self) -> None:
+        """Internal consistency checks a restore relies on."""
+        if not self.vmas:
+            raise ValueError(f"image {self.image_id!r} has no VMAs")
+        pages_file = self.files.get("pages-1.img")
+        if pages_file is None:
+            raise ValueError(f"image {self.image_id!r} is missing pages-1.img")
+        if pages_file.size_bytes != self.pages_bytes:
+            raise ValueError(
+                f"pages-1.img size {pages_file.size_bytes} != dumped pages "
+                f"{self.pages_bytes}"
+            )
+        for vma in self.vmas:
+            if len(vma.resident_indices) != len(vma.content_tags):
+                raise ValueError(
+                    f"VMA {vma.label!r}: resident indices and tags out of sync"
+                )
+            if vma.resident_pages * PAGE_SIZE > vma.length:
+                raise ValueError(
+                    f"VMA {vma.label!r}: more resident pages than the mapping holds"
+                )
+
+
+def build_image_files(image: CheckpointImage) -> None:
+    """Populate the ``*.img`` file entries from the image's contents."""
+    meta_per_vma = 64
+    meta_per_fd = 48
+    image.files = {
+        "inventory.img": ImageFile("inventory.img", 128),
+        "pstree.img": ImageFile("pstree.img", 96, payload={"pid": image.pid}),
+        f"core-{image.pid}.img": ImageFile(f"core-{image.pid}.img", 512,
+                                           payload={"comm": image.comm, "argv": image.argv}),
+        f"mm-{image.pid}.img": ImageFile(
+            f"mm-{image.pid}.img", meta_per_vma * len(image.vmas), payload=image.vmas
+        ),
+        f"pagemap-{image.pid}.img": ImageFile(
+            f"pagemap-{image.pid}.img",
+            16 * sum(v.resident_pages for v in image.vmas),
+        ),
+        "pages-1.img": ImageFile("pages-1.img", image.pages_bytes),
+        "files.img": ImageFile("files.img", meta_per_fd * len(image.fds),
+                               payload=image.fds),
+        "namespaces.img": ImageFile("namespaces.img", 64,
+                                    payload=image.namespace_ids),
+    }

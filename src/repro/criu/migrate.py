@@ -1,0 +1,172 @@
+"""Live process migration via iterative checkpointing.
+
+CRIU's pre-dump/dump workflow: run N *pre-dump* passes that copy pages
+while the process keeps running (clearing the soft-dirty bits each
+round), then freeze for a *final* incremental dump that only copies
+pages dirtied since the last pass. Downtime is the final dump plus the
+restore — the trade-off studied by every live-migration system, and the
+natural extension of the paper's snapshot machinery (its §3 discusses
+exactly this checkpoint-frequency tension for HPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.criu.checkpoint import CheckpointEngine
+from repro.criu.images import CheckpointImage
+from repro.criu.restore import RestoreEngine
+from repro.osproc.kernel import Kernel
+from repro.osproc.process import Process
+
+
+class MigrationError(Exception):
+    """Migration workflow failure."""
+
+
+@dataclass
+class MigrationReport:
+    """Timing and volume accounting for one migration."""
+
+    rounds: int
+    pre_dump_images: List[CheckpointImage] = field(default_factory=list)
+    final_image: Optional[CheckpointImage] = None
+    restored_pid: int = -1
+    total_ms: float = 0.0
+    downtime_ms: float = 0.0   # final dump + restore (process paused)
+
+    @property
+    def pre_dump_pages(self) -> int:
+        return sum(i.resident_pages for i in self.pre_dump_images)
+
+    @property
+    def final_pages(self) -> int:
+        return self.final_image.resident_pages if self.final_image else 0
+
+
+class Migrator:
+    """Drives pre-dump rounds and the final switchover."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.checkpoint_engine = CheckpointEngine(kernel)
+        self.restore_engine = RestoreEngine(kernel)
+
+    def migrate(
+        self,
+        target: Process,
+        pre_dump_rounds: int = 1,
+        workload_between_rounds: Optional[Callable[[], None]] = None,
+    ) -> MigrationReport:
+        """Migrate ``target``: pre-dump rounds, final dump, restore.
+
+        ``workload_between_rounds`` models the process continuing to
+        run (and dirty pages) while pre-dumps stream in the background.
+        The donor is killed at switchover; the restored process is the
+        survivor.
+        """
+        if pre_dump_rounds < 0:
+            raise MigrationError(
+                f"pre_dump_rounds must be >= 0, got {pre_dump_rounds}")
+        if not target.alive:
+            raise MigrationError(f"target pid {target.pid} is not alive")
+        kernel = self.kernel
+        started = kernel.clock.now
+        report = MigrationReport(rounds=pre_dump_rounds)
+
+        parent: Optional[CheckpointImage] = None
+        for round_index in range(pre_dump_rounds):
+            if round_index == 0:
+                image = self.checkpoint_engine.pre_dump(target)
+            else:
+                image = self.checkpoint_engine.dump(
+                    target, leave_running=True, parent_image=parent)
+                kernel.clear_refs(target.pid)
+            report.pre_dump_images.append(image)
+            parent = image
+            if workload_between_rounds is not None:
+                workload_between_rounds()
+
+        # Switchover: the process is paused from here until restore done.
+        downtime_start = kernel.clock.now
+        final = self.checkpoint_engine.dump(
+            target, leave_running=False, parent_image=parent)
+        report.final_image = final
+
+        # The restore must see the *union* of all rounds: merge the
+        # page sets (later rounds override earlier ones). Pages shipped
+        # by pre-dumps are already resident at the destination, so the
+        # switchover restore only pays the full per-MiB cost for the
+        # final round's pages; pre-staged ones map at in-memory cost.
+        merged = _merge_image_chain(report.pre_dump_images + [final])
+        costs = kernel.costs
+        final_mib = final.total_mib
+        prestaged_mib = max(0.0, merged.total_mib - final_mib)
+        switchover_ms = (
+            costs.restore_base_ms
+            + final_mib * costs.restore_per_mib_ms
+            + prestaged_mib * costs.restore_per_mib_ms
+            * costs.restore_in_memory_factor
+        )
+        restored = self.restore_engine.restore(
+            merged, duration_override_ms=switchover_ms)
+        report.restored_pid = restored.pid
+        report.downtime_ms = kernel.clock.now - downtime_start
+        report.total_ms = kernel.clock.now - started
+        return report
+
+
+def _merge_image_chain(chain: List[CheckpointImage]) -> CheckpointImage:
+    """Merge an incremental image chain into one restorable image.
+
+    Non-page metadata (VMAs layout, fds, runtime state) comes from the
+    last image; resident pages accumulate across the chain with
+    last-writer-wins per (vma, page index).
+    """
+    if not chain:
+        raise MigrationError("cannot merge an empty image chain")
+    last = chain[-1]
+    # label -> {index: tag}
+    pages: dict = {}
+    layouts: dict = {}
+    for image in chain:
+        for vma in image.vmas:
+            layouts[vma.label] = vma
+            slot = pages.setdefault(vma.label, {})
+            for index, tag in zip(vma.resident_indices, vma.content_tags):
+                slot[index] = tag
+
+    from repro.criu.images import VMADescriptor, build_image_files
+
+    merged_vmas = []
+    for vma in last.vmas:
+        slot = pages.get(vma.label, {})
+        indices = tuple(sorted(slot))
+        merged_vmas.append(VMADescriptor(
+            start=vma.start,
+            length=vma.length,
+            kind=vma.kind,
+            prot=vma.prot,
+            label=vma.label,
+            file_path=vma.file_path,
+            file_offset=vma.file_offset,
+            file_size=vma.file_size,
+            resident_indices=indices,
+            content_tags=tuple(slot[i] for i in indices),
+        ))
+    merged = CheckpointImage(
+        image_id=f"{last.image_id}-merged",
+        pid=last.pid,
+        comm=last.comm,
+        argv=list(last.argv),
+        created_at_ms=last.created_at_ms,
+        namespace_ids=dict(last.namespace_ids),
+        vmas=merged_vmas,
+        fds=list(last.fds),
+        runtime_state=last.runtime_state,
+        warm=last.warm,
+    )
+    build_image_files(merged)
+    merged.validate()
+    return merged

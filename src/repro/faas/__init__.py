@@ -1,0 +1,38 @@
+"""SPEC-RG-style FaaS platform (paper §2) + OpenFaaS integration (§5).
+
+The platform implements the reference architecture's Function
+Management layer — Function Router, Function Registry, Function
+Builder, Function Deployer, Function Replica — on top of a Resource
+Orchestration layer (Resource Manager and compute nodes), wired to the
+prebaking technique exactly where the paper puts it: the Builder bakes
+at build time, replicas restore at start time.
+"""
+
+from repro.faas.registry import FunctionMetadata, FunctionRegistry, RegistryError
+from repro.faas.builder import BuildResult, FunctionBuilder
+from repro.faas.resources import ComputeNode, ResourceError, ResourceManager
+from repro.faas.replica import FunctionReplica, ReplicaState
+from repro.faas.deployer import FunctionDeployer
+from repro.faas.router import FunctionRouter, RouterStats
+from repro.faas.autoscaler import Autoscaler, AutoscalerConfig
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+
+__all__ = [
+    "FunctionMetadata",
+    "FunctionRegistry",
+    "RegistryError",
+    "BuildResult",
+    "FunctionBuilder",
+    "ComputeNode",
+    "ResourceError",
+    "ResourceManager",
+    "FunctionReplica",
+    "ReplicaState",
+    "FunctionDeployer",
+    "FunctionRouter",
+    "RouterStats",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "FaaSPlatform",
+    "PlatformConfig",
+]

@@ -1,0 +1,96 @@
+"""Autoscaler: replica pool management.
+
+Combines the paper's two platform behaviours: garbage-collecting
+replicas "inactive for a certain period" (§4.1) and the
+Prometheus-alert-driven scale-up OpenFaaS implements (§5.1). The
+policy here is deliberately simple — target concurrency with idle
+timeout — because the paper's contribution is *how fast* a scale-up
+replica starts, not the scaling policy itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.faas.deployer import FunctionDeployer
+from repro.faas.registry import FunctionRegistry
+from repro.faas.replica import ReplicaState
+from repro.osproc.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tunables for the pool policy."""
+
+    idle_timeout_ms: float = 60_000.0
+    min_replicas: int = 0
+    max_replicas: int = 16
+
+
+@dataclass
+class ScaleEvent:
+    """One autoscaler action, for observability."""
+
+    at_ms: float
+    function: str
+    action: str      # "scale-up" | "gc"
+    replicas_after: int
+
+
+class Autoscaler:
+    """Idle-GC plus demand-driven scale-up."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        registry: FunctionRegistry,
+        deployer: FunctionDeployer,
+        config: AutoscalerConfig = AutoscalerConfig(),
+    ) -> None:
+        self.kernel = kernel
+        self.registry = registry
+        self.deployer = deployer
+        self.config = config
+        self.events: List[ScaleEvent] = []
+
+    def tick(self) -> None:
+        """Run one reconciliation pass over every registered function."""
+        now = self.kernel.clock.now
+        for name in self.registry.names():
+            self._gc_idle(name, now)
+
+    def _gc_idle(self, function: str, now: float) -> None:
+        metadata = self.registry.lookup(function)
+        timeout = min(self.config.idle_timeout_ms, metadata.idle_timeout_ms)
+        replicas = self.deployer.replicas(function)
+        keep = max(self.config.min_replicas, 0)
+        for replica in replicas:
+            if len(self.deployer.replicas(function)) <= keep:
+                break
+            if replica.state is ReplicaState.IDLE and replica.idle_for_ms(now) >= timeout:
+                replica.terminate()
+                self.events.append(ScaleEvent(
+                    at_ms=now, function=function, action="gc",
+                    replicas_after=len(self.deployer.replicas(function)),
+                ))
+
+    def ensure_capacity(self, function: str, pending_requests: int) -> int:
+        """Scale up so ``pending_requests`` can be served concurrently.
+
+        Returns how many replicas were added. This is the action an
+        OpenFaaS Prometheus alert triggers (§5.1).
+        """
+        metadata = self.registry.lookup(function)
+        limit = min(self.config.max_replicas, metadata.max_replicas)
+        current = len(self.deployer.replicas(function))
+        wanted = min(pending_requests, limit)
+        added = 0
+        while current + added < wanted:
+            self.deployer.provision(function)
+            added += 1
+            self.events.append(ScaleEvent(
+                at_ms=self.kernel.clock.now, function=function, action="scale-up",
+                replicas_after=current + added,
+            ))
+        return added

@@ -1,0 +1,112 @@
+"""Function Deployer: provisions new Function Replicas (paper §2).
+
+"The Function Deployer drives the actual deploy mechanisms,
+implemented by the Resource Orchestration layer, to deploy new function
+replicas into computing resources."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.manager import PrebakeManager
+from repro.faas.registry import FunctionMetadata, FunctionRegistry
+from repro.faas.replica import FunctionReplica, ReplicaState
+from repro.faas.resources import ResourceManager
+from repro.osproc.cgroups import CgroupManager
+from repro.osproc.kernel import Kernel
+
+
+class FunctionDeployer:
+    """Creates and tracks replicas per function."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        registry: FunctionRegistry,
+        resources: ResourceManager,
+        prebake_manager: PrebakeManager,
+    ) -> None:
+        self.kernel = kernel
+        self.registry = registry
+        self.resources = resources
+        self.prebake_manager = prebake_manager
+        self.cgroups = CgroupManager(kernel)
+        self._replicas: Dict[str, List[FunctionReplica]] = {}
+
+    # -- provisioning --------------------------------------------------------------
+
+    def provision(self, function: str) -> FunctionReplica:
+        """Create one new replica of ``function`` (the cold-start path)."""
+        metadata = self.registry.lookup(function)
+        live = self.replicas(function)
+        if len(live) >= metadata.max_replicas:
+            raise RuntimeError(
+                f"function {function!r} at max_replicas={metadata.max_replicas}"
+            )
+        app = metadata.make_app()
+        # Reserve node memory for the container hosting the replica.
+        memory_mib = max(64.0, app.profile.snapshot_warm_mib * 2)
+        privileged = metadata.start_technique == "prebake"
+        allocation = self.resources.place(function, memory_mib, privileged=privileged)
+
+        # Container/VM provisioning cost — zero in the paper's §4
+        # experiments, configurable for the §5 integration demos.
+        provision_ms = self.kernel.costs.container_provision_ms
+        if provision_ms:
+            self.kernel.clock.advance(
+                self.kernel.costs.jitter(provision_ms, self.kernel.streams,
+                                         "deployer.provision")
+            )
+        try:
+            starter = self.prebake_manager.starter(
+                metadata.start_technique,
+                policy=metadata.snapshot_policy,
+                version=metadata.version,
+            )
+            handle = starter.start(app)
+        except Exception:
+            allocation.release()
+            raise
+        # Confine the replica to a memory cgroup sized like its
+        # container reservation (the OOM boundary in production).
+        cgroup = self.cgroups.create(
+            f"{function}/alloc-{allocation.allocation_id}",
+            limit_mib=memory_mib,
+        )
+        cgroup.attach(handle.process)
+        replica = FunctionReplica(function, handle, allocation=allocation,
+                                  cgroup=cgroup)
+        self._replicas.setdefault(function, []).append(replica)
+        return replica
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def replicas(self, function: str) -> List[FunctionReplica]:
+        live = [r for r in self._replicas.get(function, [])
+                if r.state is not ReplicaState.TERMINATED]
+        self._replicas[function] = live
+        return live
+
+    def idle_replica(self, function: str) -> Optional[FunctionReplica]:
+        for replica in self.replicas(function):
+            if replica.state is ReplicaState.IDLE:
+                return replica
+        return None
+
+    def scale_down(self, function: str, count: int = 1) -> int:
+        """Terminate up to ``count`` idle replicas; return how many died."""
+        killed = 0
+        for replica in list(self.replicas(function)):
+            if killed >= count:
+                break
+            if replica.state is ReplicaState.IDLE:
+                replica.terminate()
+                killed += 1
+        return killed
+
+    def terminate_all(self, function: Optional[str] = None) -> None:
+        names = [function] if function else list(self._replicas)
+        for name in names:
+            for replica in self.replicas(name):
+                replica.terminate()

@@ -1,0 +1,262 @@
+"""Minimal HTTP/1.1 message codec.
+
+"Both functions were written in Java and used an HTTP server to handle
+the requests, as usually employed in commercial FaaS providers" (§4.1).
+The simulated data path carries :class:`~repro.runtime.base.Request`
+objects; this codec gives them a faithful wire form — the gateway and
+watchdog can serialize/parse actual HTTP bytes, and tests exercise
+malformed-input handling the way a real front end must.
+
+Supported: request line + status line, headers, Content-Length bodies,
+and chunked transfer decoding. Deliberately not supported: HTTP/2,
+trailers, multiline headers (obsolete folding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+CRLF = b"\r\n"
+SUPPORTED_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "PATCH", "OPTIONS")
+
+REASON_PHRASES = {
+    200: "OK", 201: "Created", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Malformed HTTP message."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """A parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return _get_header(self.headers, name, default)
+
+
+def _get_header(headers: Dict[str, str], name: str,
+                default: Optional[str]) -> Optional[str]:
+    """Case-insensitive header lookup (composed messages keep their
+    original casing; parsed ones are lowercased)."""
+    wanted = name.lower()
+    for key, value in headers.items():
+        if key.lower() == wanted:
+            return value
+    return default
+
+
+@dataclass
+class HttpResponse:
+    """A parsed/composed HTTP response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return _get_header(self.headers, name, default)
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+def _compose_headers(headers: Dict[str, str], body: bytes) -> List[bytes]:
+    lines = []
+    seen = {k.lower() for k in headers}
+    if "content-length" not in seen and "transfer-encoding" not in seen:
+        headers = {**headers, "Content-Length": str(len(body))}
+    for name, value in headers.items():
+        if "\r" in name + value or "\n" in name + value:
+            raise HttpError(f"header {name!r} contains line breaks")
+        lines.append(f"{name}: {value}".encode("latin-1"))
+    return lines
+
+
+def compose_request(request: HttpRequest) -> bytes:
+    """Serialize a request to wire bytes."""
+    if request.method not in SUPPORTED_METHODS:
+        raise HttpError(f"unsupported method {request.method!r}", status=405)
+    if not request.path.startswith("/"):
+        raise HttpError(f"path must start with '/', got {request.path!r}")
+    head = [f"{request.method} {request.path} {request.version}".encode("latin-1")]
+    head += _compose_headers(request.headers, request.body)
+    return CRLF.join(head) + CRLF + CRLF + request.body
+
+
+def compose_response(response: HttpResponse) -> bytes:
+    """Serialize a response to wire bytes."""
+    head = [f"{response.version} {response.status} {response.reason}".encode("latin-1")]
+    head += _compose_headers(response.headers, response.body)
+    return CRLF.join(head) + CRLF + CRLF + response.body
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def _split_head(data: bytes) -> Tuple[List[bytes], bytes]:
+    sep = data.find(CRLF + CRLF)
+    if sep == -1:
+        raise HttpError("incomplete message: no header terminator")
+    head = data[:sep].split(CRLF)
+    return head, data[sep + 4:]
+
+
+def _parse_headers(lines: List[bytes]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        if b":" not in line:
+            raise HttpError(f"malformed header line {line!r}")
+        name, _, value = line.partition(b":")
+        key = name.strip().decode("latin-1").lower()
+        if not key:
+            raise HttpError("empty header name")
+        headers[key] = value.strip().decode("latin-1")
+    return headers
+
+
+def _decode_chunked(data: bytes) -> bytes:
+    body = bytearray()
+    offset = 0
+    while True:
+        line_end = data.find(CRLF, offset)
+        if line_end == -1:
+            raise HttpError("truncated chunked body (no size line)")
+        size_token = data[offset:line_end].split(b";")[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError:
+            raise HttpError(f"bad chunk size {size_token!r}") from None
+        offset = line_end + 2
+        if size == 0:
+            return bytes(body)
+        chunk = data[offset:offset + size]
+        if len(chunk) < size:
+            raise HttpError("truncated chunk payload")
+        body += chunk
+        offset += size
+        if data[offset:offset + 2] != CRLF:
+            raise HttpError("chunk missing trailing CRLF")
+        offset += 2
+
+
+def _extract_body(headers: Dict[str, str], rest: bytes) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        return _decode_chunked(rest)
+    length_text = headers.get("content-length")
+    if length_text is None:
+        return b""
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise HttpError(f"negative Content-Length {length}")
+    if len(rest) < length:
+        raise HttpError(
+            f"truncated body: {len(rest)} of {length} bytes", status=400)
+    return rest[:length]
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse wire bytes into an :class:`HttpRequest`."""
+    head, rest = _split_head(data)
+    parts = head[0].split(b" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line {head[0]!r}")
+    method = parts[0].decode("latin-1")
+    if method not in SUPPORTED_METHODS:
+        raise HttpError(f"unsupported method {method!r}", status=405)
+    version = parts[2].decode("latin-1")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(f"unsupported version {version!r}", status=400)
+    headers = _parse_headers(head[1:])
+    return HttpRequest(
+        method=method,
+        path=parts[1].decode("latin-1"),
+        headers=headers,
+        body=_extract_body(headers, rest),
+        version=version,
+    )
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse wire bytes into an :class:`HttpResponse`."""
+    head, rest = _split_head(data)
+    parts = head[0].split(b" ", 2)
+    if len(parts) < 2:
+        raise HttpError(f"malformed status line {head[0]!r}")
+    version = parts[0].decode("latin-1")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(f"unsupported version {version!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(f"bad status code {parts[1]!r}") from None
+    if not 100 <= status <= 599:
+        raise HttpError(f"status code {status} out of range")
+    headers = _parse_headers(head[1:])
+    return HttpResponse(
+        status=status,
+        headers=headers,
+        body=_extract_body(headers, rest),
+        version=version,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bridges to the simulated data path
+# ---------------------------------------------------------------------------
+
+def to_runtime_request(http: HttpRequest):
+    """Convert a wire request into the simulated platform's Request."""
+    from repro.runtime.base import Request
+    return Request(
+        body=http.body.decode("utf-8", "replace") if http.body else None,
+        path=http.path,
+        method=http.method,
+    )
+
+
+def from_runtime_response(response) -> HttpResponse:
+    """Convert a platform Response into a wire response."""
+    if isinstance(response.body, bytes):
+        body = response.body
+    elif response.body is None:
+        body = b""
+    elif isinstance(response.body, str):
+        body = response.body.encode("utf-8")
+    else:
+        import json
+        body = json.dumps(response.body).encode("utf-8")
+    return HttpResponse(
+        status=response.status,
+        headers={"X-Request-Id": str(response.request_id),
+                 "X-Duration-Ms": f"{response.service_ms:.3f}"},
+        body=body,
+    )

@@ -1,0 +1,71 @@
+"""Container images and containers.
+
+"Prebaking templates start the function runtime and run an optional
+post-processing script (e.g., warm-up requests), and checkpoint the
+function process into the container image" (§5.2) — so an image here
+is a list of layers, one of which may be a CRIU snapshot, and a
+container is an image instance that may need ``--privileged`` to
+restore it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.store import SnapshotKey
+
+
+@dataclass(frozen=True)
+class ImageLayer:
+    """One layer of a container image."""
+
+    name: str
+    size_bytes: int
+    media_type: str = "application/vnd.oci.image.layer.v1.tar"
+
+
+@dataclass
+class ContainerImage:
+    """An OCI-style image: base + function + (optional) snapshot layer."""
+
+    repository: str
+    tag: str
+    layers: List[ImageLayer] = field(default_factory=list)
+    snapshot_key: Optional[SnapshotKey] = None
+    requires_privileged: bool = False
+
+    @property
+    def reference(self) -> str:
+        return f"{self.repository}:{self.tag}"
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(layer.size_bytes for layer in self.layers)
+
+    @property
+    def has_snapshot(self) -> bool:
+        return self.snapshot_key is not None
+
+    def snapshot_layer(self) -> Optional[ImageLayer]:
+        for layer in self.layers:
+            if layer.name == "criu-snapshot":
+                return layer
+        return None
+
+
+_container_ids = itertools.count(1)
+
+
+@dataclass
+class Container:
+    """A running container instance."""
+
+    image: ContainerImage
+    privileged: bool
+    container_id: int = field(default_factory=lambda: next(_container_ids))
+    running: bool = True
+
+    def stop(self) -> None:
+        self.running = False

@@ -1,0 +1,48 @@
+"""Container Image Repository — OpenFaaS's Function Registry (§5.1).
+
+"push: stores the function deployable artifacts into the Function
+Registry which is a Container Image Repository."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.faas.openfaas.containers import ContainerImage
+
+
+class ImageNotFound(KeyError):
+    """Pull of an unknown image reference."""
+
+
+class ImageRepository:
+    """A name:tag → image store with pull accounting."""
+
+    def __init__(self) -> None:
+        self._images: Dict[str, ContainerImage] = {}
+        self._pulls: Dict[str, int] = {}
+
+    def push(self, image: ContainerImage) -> None:
+        self._images[image.reference] = image
+
+    def pull(self, reference: str) -> ContainerImage:
+        image = self._images.get(reference)
+        if image is None:
+            raise ImageNotFound(
+                f"no image {reference!r}; repository holds {sorted(self._images)}"
+            )
+        self._pulls[reference] = self._pulls.get(reference, 0) + 1
+        return image
+
+    def contains(self, reference: str) -> bool:
+        return reference in self._images
+
+    def pull_count(self, reference: str) -> int:
+        return self._pulls.get(reference, 0)
+
+    def references(self) -> List[str]:
+        return sorted(self._images)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(i.total_bytes for i in self._images.values())

@@ -1,0 +1,103 @@
+"""PrometheusLite: metrics + alerting for the OpenFaaS autoscaler.
+
+"The platform auto-scaling functionality is shared between the Gateway
+API and the Prometheus tool, which continuously monitors metrics and
+fires alerts. All alerts fired by Prometheus are processed by Gateway
+API, which decides when to scale down/up" (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labels(labels: Optional[Dict[str, str]]) -> LabelSet:
+    return tuple(sorted((labels or {}).items()))
+
+
+@dataclass
+class AlertRule:
+    """Fire when ``metric`` (summed over matching labels) crosses ``threshold``."""
+
+    name: str
+    metric: str
+    threshold: float
+    comparison: str = ">"        # ">" or "<"
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def evaluate(self, value: float) -> bool:
+        if self.comparison == ">":
+            return value > self.threshold
+        if self.comparison == "<":
+            return value < self.threshold
+        raise ValueError(f"unsupported comparison {self.comparison!r}")
+
+
+@dataclass
+class Alert:
+    """A fired alert delivered to subscribers (the Gateway)."""
+
+    rule: AlertRule
+    value: float
+    at_ms: float
+
+
+class PrometheusLite:
+    """Counters/gauges with threshold alert rules."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelSet], float] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], float] = {}
+        self._rules: List[AlertRule] = []
+        self._subscribers: List[Callable[[Alert], None]] = []
+        self.fired: List[Alert] = []
+
+    # -- metrics ---------------------------------------------------------------
+
+    def inc(self, metric: str, value: float = 1.0,
+            labels: Optional[Dict[str, str]] = None) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = (metric, _labels(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, metric: str, value: float,
+                  labels: Optional[Dict[str, str]] = None) -> None:
+        self._gauges[(metric, _labels(labels))] = value
+
+    def value(self, metric: str, labels: Optional[Dict[str, str]] = None) -> float:
+        """Sum of the metric across series matching the label subset."""
+        want = dict(labels or {})
+        total = 0.0
+        for store in (self._counters, self._gauges):
+            for (name, series_labels), v in store.items():
+                if name != metric:
+                    continue
+                series = dict(series_labels)
+                if all(series.get(k) == val for k, val in want.items()):
+                    total += v
+        return total
+
+    # -- alerting ----------------------------------------------------------------
+
+    def add_rule(self, rule: AlertRule) -> None:
+        self._rules.append(rule)
+
+    def subscribe(self, callback: Callable[[Alert], None]) -> None:
+        self._subscribers.append(callback)
+
+    def evaluate(self, now_ms: float = 0.0) -> List[Alert]:
+        """Evaluate every rule; fire and deliver alerts that trip."""
+        alerts = []
+        for rule in self._rules:
+            value = self.value(rule.metric, rule.labels)
+            if rule.evaluate(value):
+                alert = Alert(rule=rule, value=value, at_ms=now_ms)
+                alerts.append(alert)
+                self.fired.append(alert)
+                for subscriber in self._subscribers:
+                    subscriber(alert)
+        return alerts

@@ -1,0 +1,79 @@
+"""One-call wiring of the full OpenFaaS stack (used by examples/tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bake import Prebaker
+from repro.core.store import SnapshotStore
+from repro.faas.openfaas.cli import FaasCli
+from repro.faas.openfaas.gateway import Gateway
+from repro.faas.openfaas.imagerepo import ImageRepository
+from repro.faas.openfaas.prometheus import PrometheusLite
+from repro.faas.openfaas.providers import (
+    DockerSwarmProvider,
+    FaasProvider,
+    KubernetesProvider,
+)
+from repro.faas.openfaas.templates import TemplateStore
+from repro.faas.resources import ComputeNode, ResourceManager
+from repro.osproc.kernel import Kernel
+
+
+@dataclass
+class OpenFaasStack:
+    """All the §5 components, wired."""
+
+    kernel: Kernel
+    resources: ResourceManager
+    provider: FaasProvider
+    templates: TemplateStore
+    snapshot_store: SnapshotStore
+    prebaker: Prebaker
+    image_repo: ImageRepository
+    prometheus: PrometheusLite
+    gateway: Gateway
+    cli: FaasCli
+
+
+def make_openfaas_stack(
+    kernel: Kernel,
+    provider_name: str = "kubernetes",
+    buildx_installed: bool = True,
+    nodes: int = 2,
+    node_memory_mib: float = 8192.0,
+    allow_unprivileged_cr: bool = False,
+) -> OpenFaasStack:
+    """Build a complete OpenFaaS deployment on top of ``kernel``."""
+    resources = ResourceManager(
+        nodes=[ComputeNode(name=f"node-{i}", memory_mib=node_memory_mib)
+               for i in range(nodes)]
+    )
+    if provider_name == "kubernetes":
+        provider: FaasProvider = KubernetesProvider(resources)
+    elif provider_name == "dockerswarm":
+        provider = DockerSwarmProvider(resources,
+                                       allow_unprivileged_cr=allow_unprivileged_cr)
+    else:
+        raise ValueError(f"unknown provider {provider_name!r}")
+    templates = TemplateStore()
+    snapshot_store = SnapshotStore()
+    prebaker = Prebaker(kernel, snapshot_store)
+    image_repo = ImageRepository()
+    prometheus = PrometheusLite()
+    gateway = Gateway(kernel, provider, image_repo, snapshot_store,
+                      prometheus=prometheus)
+    cli = FaasCli(kernel, templates, prebaker, image_repo, gateway,
+                  buildx_installed=buildx_installed)
+    return OpenFaasStack(
+        kernel=kernel,
+        resources=resources,
+        provider=provider,
+        templates=templates,
+        snapshot_store=snapshot_store,
+        prebaker=prebaker,
+        image_repo=image_repo,
+        prometheus=prometheus,
+        gateway=gateway,
+        cli=cli,
+    )

@@ -1,0 +1,122 @@
+"""FaaSPlatform: the wired-together reference architecture.
+
+The facade a user (or the OpenFaaS layer) talks to: register a
+function, build it (baking if it opted into prebaking), and invoke it
+through the router. Figure 1's cold-start flow — router → deployer →
+registry → resource manager → replica — happens inside ``invoke``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.manager import PrebakeManager
+from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.faas.autoscaler import Autoscaler, AutoscalerConfig
+from repro.faas.builder import BuildResult, FunctionBuilder
+from repro.faas.deployer import FunctionDeployer
+from repro.faas.registry import FunctionMetadata, FunctionRegistry
+from repro.faas.resources import ComputeNode, ResourceManager
+from repro.faas.router import FunctionRouter
+from repro.functions.base import FunctionApp
+from repro.osproc.kernel import Kernel
+from repro.runtime.base import Request, Response
+
+
+@dataclass
+class PlatformConfig:
+    """Cluster shape + autoscaler policy."""
+
+    nodes: int = 2
+    node_memory_mib: float = 8192.0
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+
+
+class FaaSPlatform:
+    """The whole Function Management + Resource Orchestration stack."""
+
+    def __init__(self, kernel: Kernel, config: PlatformConfig = PlatformConfig()) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.registry = FunctionRegistry()
+        self.resources = ResourceManager(
+            nodes=[
+                ComputeNode(name=f"node-{i}", memory_mib=config.node_memory_mib)
+                for i in range(config.nodes)
+            ]
+        )
+        self.prebake_manager = PrebakeManager(kernel)
+        self.builder = FunctionBuilder(kernel, self.prebake_manager.prebaker)
+        self.deployer = FunctionDeployer(
+            kernel, self.registry, self.resources, self.prebake_manager
+        )
+        self.router = FunctionRouter(kernel, self.deployer)
+        self.autoscaler = Autoscaler(
+            kernel, self.registry, self.deployer, config.autoscaler
+        )
+
+    # -- function lifecycle ---------------------------------------------------------
+
+    def register_function(
+        self,
+        app_factory: Callable[[], FunctionApp],
+        start_technique: str = "vanilla",
+        snapshot_policy: Optional[SnapshotPolicy] = None,
+        max_replicas: int = 16,
+        idle_timeout_ms: float = 60_000.0,
+    ) -> FunctionMetadata:
+        """Register (a new version of) a function and build it."""
+        if start_technique not in ("vanilla", "prebake"):
+            raise ValueError(f"unknown start technique {start_technique!r}")
+        sample = app_factory()
+        version = 1
+        if self.registry.contains(sample.name):
+            version = self.registry.lookup(sample.name).version + 1
+        metadata = FunctionMetadata(
+            name=sample.name,
+            runtime_kind=sample.runtime_kind,
+            version=version,
+            app_factory=app_factory,
+            start_technique=start_technique,
+            snapshot_policy=snapshot_policy or AfterReady(),
+            max_replicas=max_replicas,
+            idle_timeout_ms=idle_timeout_ms,
+        )
+        self.build(metadata)
+        # Keep the PrebakeManager's version counter in sync so the
+        # deployer restores the snapshot this build produced.
+        self.prebake_manager.sync_version(sample.name, version)
+        self.registry.register(metadata)
+        return metadata
+
+    def build(self, metadata: FunctionMetadata) -> BuildResult:
+        """Run the Function Builder for ``metadata``."""
+        result = self.builder.build(metadata)
+        return result
+
+    # -- data path ----------------------------------------------------------------------
+
+    def invoke(self, function: str, request: Optional[Request] = None) -> Response:
+        """Route one request (cold-starting a replica if needed)."""
+        return self.router.route(function, request)
+
+    def scale(self, function: str, replicas: int) -> None:
+        """Imperatively scale a function's pool up to ``replicas``."""
+        self.autoscaler.ensure_capacity(function, replicas)
+
+    def gc_tick(self) -> None:
+        """Run one autoscaler reconciliation pass."""
+        self.autoscaler.tick()
+
+    # -- observability --------------------------------------------------------------------
+
+    def replica_count(self, function: str) -> int:
+        return len(self.deployer.replicas(function))
+
+    def cold_start_latencies(self, function: Optional[str] = None) -> List[float]:
+        records = self.router.stats.records
+        return [
+            r.queued_ms for r in records
+            if r.cold_start and (function is None or r.function == function)
+        ]

@@ -1,0 +1,142 @@
+"""Warm-pool baseline: the cold-start mitigation prebaking competes with.
+
+Paper §1: "A common approach is to avoid delays by being conservative
+when provisioning functions [14]. On the one hand, by maintaining an
+idle pool of functions instances, the platform addresses surges in
+demand with no performance penalty. On the other hand, as the platform
+provider does not charge for idle function instances, this strategy
+increases the platform's operational cost."
+
+:class:`WarmPool` implements that strategy so experiments can compare
+the three options on both axes the paper frames:
+
+* request-observed cold-start latency (pool wins when a warm instance
+  is available, loses exactly like vanilla on pool misses);
+* idle memory held by the platform (the pool's standing cost; prebaking
+  holds only the snapshot bytes, vanilla holds nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.starters import ReplicaHandle, Starter
+from repro.functions.base import FunctionApp
+from repro.osproc.kernel import Kernel
+from repro.runtime.base import Request, Response
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss and cost accounting for one pool."""
+
+    hits: int = 0
+    misses: int = 0
+    refills: int = 0
+    idle_mib_ms: float = 0.0   # memory-time integral of idle instances
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WarmPool:
+    """Keeps up to ``size`` pre-started idle replicas of one function.
+
+    ``take()`` pops a warm replica (a pool *hit*: effectively zero
+    start-up) or falls back to a cold start via the wrapped starter (a
+    *miss*). ``refill()`` replenishes the pool — in this synchronous
+    model the refill cost is charged to the platform, not to any
+    request, but the memory each idle instance holds is accounted
+    per-replica from the moment it becomes idle.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        starter: Starter,
+        app_factory: Callable[[], FunctionApp],
+        size: int = 1,
+    ) -> None:
+        if size < 0:
+            raise ValueError(f"pool size must be >= 0, got {size}")
+        self.kernel = kernel
+        self.starter = starter
+        self.app_factory = app_factory
+        self.size = size
+        self.stats = PoolStats()
+        self._idle: List[Tuple[ReplicaHandle, float]] = []  # (handle, idle_since)
+
+    # -- pool mechanics ---------------------------------------------------------
+
+    def refill(self) -> int:
+        """Top the pool back up to ``size``; returns replicas started."""
+        started = 0
+        while len(self._idle) < self.size:
+            handle = self.starter.start(self.app_factory())
+            self._idle.append((handle, self.kernel.clock.now))
+            started += 1
+        if started:
+            self.stats.refills += started
+        return started
+
+    def _pop_idle(self) -> ReplicaHandle:
+        handle, since = self._idle.pop()
+        self.stats.idle_mib_ms += (self.kernel.clock.now - since) * handle.process.rss_mib
+        return handle
+
+    def take(self) -> ReplicaHandle:
+        """Pop a warm replica, or cold-start on a miss."""
+        if self._idle:
+            self.stats.hits += 1
+            return self._pop_idle()
+        self.stats.misses += 1
+        return self.starter.start(self.app_factory())
+
+    def release(self, handle: ReplicaHandle) -> bool:
+        """Return a replica to the pool; kills it if the pool is full."""
+        if len(self._idle) < self.size:
+            self._idle.append((handle, self.kernel.clock.now))
+            return True
+        handle.kill()
+        return False
+
+    def serve(self, request: Optional[Request] = None,
+              release: bool = True) -> Response:
+        """Take a replica, serve one request, and (optionally) return
+        the replica to the pool afterwards."""
+        handle = self.take()
+        response = handle.invoke(request or Request())
+        if release:
+            self.release(handle)
+        return response
+
+    def drain(self) -> int:
+        """Kill every idle replica (e.g. platform scale-to-zero)."""
+        count = len(self._idle)
+        while self._idle:
+            self._pop_idle().kill()
+        return count
+
+    # -- cost accounting -----------------------------------------------------------
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    @property
+    def idle_mib(self) -> float:
+        """Memory currently held by idle pool instances."""
+        return sum(h.process.rss_mib for h, _ in self._idle)
+
+    def snapshot_idle_cost(self) -> float:
+        """Flush per-replica accounting; return the MiB·ms integral."""
+        now = self.kernel.clock.now
+        flushed = []
+        for handle, since in self._idle:
+            self.stats.idle_mib_ms += (now - since) * handle.process.rss_mib
+            flushed.append((handle, now))
+        self._idle = flushed
+        return self.stats.idle_mib_ms

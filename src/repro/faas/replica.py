@@ -1,0 +1,85 @@
+"""Function Replica: one running instance of a function.
+
+The paper's concurrency model (§4.1): "each function replica handles
+one request at a time. If a replica is busy and a new request arrives,
+the platform starts another replica ... if a replica is inactive for a
+certain period, the platform garbage collects the function replica".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.starters import ReplicaHandle
+from repro.faas.resources import Allocation
+from repro.osproc.cgroups import MemoryCgroup
+from repro.runtime.base import Request, Response
+
+
+class ReplicaState(Enum):
+    PROVISIONING = "provisioning"
+    IDLE = "idle"
+    BUSY = "busy"
+    TERMINATED = "terminated"
+
+
+_replica_ids = itertools.count(1)
+
+
+class FunctionReplica:
+    """Wraps a started replica with platform-level lifecycle state."""
+
+    def __init__(self, function: str, handle: ReplicaHandle,
+                 allocation: Optional[Allocation] = None,
+                 cgroup: Optional[MemoryCgroup] = None) -> None:
+        self.replica_id = next(_replica_ids)
+        self.function = function
+        self.handle = handle
+        self.allocation = allocation
+        self.cgroup = cgroup
+        self.state = ReplicaState.IDLE
+        self.last_active_ms = handle.ready_at_ms
+        self.requests_served = 0
+        self.cold_start_ms = handle.startup_ms("ready")
+
+    @property
+    def technique(self) -> str:
+        return self.handle.technique
+
+    def serve(self, request: Request) -> Response:
+        """Process one request (the replica is busy for its duration)."""
+        if self.state is not ReplicaState.IDLE:
+            raise RuntimeError(
+                f"replica {self.replica_id} cannot serve in state {self.state.value}"
+            )
+        self.state = ReplicaState.BUSY
+        try:
+            response = self.handle.invoke(request)
+        finally:
+            self.state = ReplicaState.IDLE
+        self.requests_served += 1
+        self.last_active_ms = response.finished_ms
+        # The request may have grown the heap past the container's
+        # memory limit — the cgroup OOM killer fires here, as it would
+        # asynchronously in production.
+        if self.cgroup is not None and self.cgroup.enforce():
+            self.state = ReplicaState.TERMINATED
+            if self.allocation is not None:
+                self.allocation.release()
+        return response
+
+    def idle_for_ms(self, now_ms: float) -> float:
+        return now_ms - self.last_active_ms
+
+    def terminate(self) -> None:
+        if self.state is ReplicaState.TERMINATED:
+            return
+        self.handle.kill()
+        if self.cgroup is not None:
+            self.cgroup.detach(self.handle.process)
+        if self.allocation is not None:
+            self.allocation.release()
+        self.state = ReplicaState.TERMINATED

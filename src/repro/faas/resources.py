@@ -1,0 +1,121 @@
+"""Resource Orchestration layer: nodes and the Resource Manager.
+
+"The Resource Manager ... ensures that the state of the computing
+cluster is always in the desired states" (§2). Nodes have memory
+capacity; containers (function replicas) reserve it. The paper's
+experiments deliberately exclude container orchestration overhead
+(§4.1), so provisioning cost defaults to zero and only the §5
+integration demos turn it on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ResourceError(Exception):
+    """Capacity or placement failure."""
+
+
+_allocation_ids = itertools.count(1)
+
+
+@dataclass
+class Allocation:
+    """One container's reservation on a node."""
+
+    allocation_id: int
+    node: "ComputeNode"
+    function: str
+    memory_mib: float
+    privileged: bool = False
+    released: bool = False
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.node._release(self)
+        self.released = True
+
+
+@dataclass
+class ComputeNode:
+    """A worker node with finite memory."""
+
+    name: str
+    memory_mib: float = 8192.0
+    allow_privileged: bool = True
+    _allocations: List[Allocation] = field(default_factory=list)
+
+    @property
+    def used_mib(self) -> float:
+        return sum(a.memory_mib for a in self._allocations)
+
+    @property
+    def free_mib(self) -> float:
+        return self.memory_mib - self.used_mib
+
+    def allocate(self, function: str, memory_mib: float,
+                 privileged: bool = False) -> Allocation:
+        if privileged and not self.allow_privileged:
+            raise ResourceError(
+                f"node {self.name!r} does not allow privileged containers"
+            )
+        if memory_mib > self.free_mib:
+            raise ResourceError(
+                f"node {self.name!r} has {self.free_mib:.0f} MiB free, "
+                f"needs {memory_mib:.0f}"
+            )
+        allocation = Allocation(
+            allocation_id=next(_allocation_ids),
+            node=self,
+            function=function,
+            memory_mib=memory_mib,
+            privileged=privileged,
+        )
+        self._allocations.append(allocation)
+        return allocation
+
+    def _release(self, allocation: Allocation) -> None:
+        try:
+            self._allocations.remove(allocation)
+        except ValueError:
+            raise ResourceError(
+                f"allocation {allocation.allocation_id} not on node {self.name!r}"
+            )
+
+
+class ResourceManager:
+    """Places replicas onto nodes (worst-fit: most free memory first)."""
+
+    def __init__(self, nodes: Optional[List[ComputeNode]] = None) -> None:
+        self.nodes: List[ComputeNode] = nodes or [ComputeNode(name="node-0")]
+
+    def add_node(self, node: ComputeNode) -> None:
+        if any(n.name == node.name for n in self.nodes):
+            raise ResourceError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+
+    def place(self, function: str, memory_mib: float,
+              privileged: bool = False) -> Allocation:
+        candidates = [
+            n for n in self.nodes
+            if n.free_mib >= memory_mib and (n.allow_privileged or not privileged)
+        ]
+        if not candidates:
+            raise ResourceError(
+                f"no node can host {function!r} ({memory_mib:.0f} MiB, "
+                f"privileged={privileged})"
+            )
+        best = max(candidates, key=lambda n: n.free_mib)
+        return best.allocate(function, memory_mib, privileged=privileged)
+
+    @property
+    def total_free_mib(self) -> float:
+        return sum(n.free_mib for n in self.nodes)
+
+    def utilization(self) -> Dict[str, float]:
+        return {n.name: (n.used_mib / n.memory_mib if n.memory_mib else 0.0)
+                for n in self.nodes}

@@ -1,0 +1,140 @@
+"""Image codecs: PPM (P3/P6) and uncompressed 24-bit BMP.
+
+The formats are simple enough to implement exactly and round-trip
+losslessly, which is what the tests verify.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.functions.imaging.image import Image, ImageFormatError
+
+
+# ---------------------------------------------------------------------------
+# PPM
+# ---------------------------------------------------------------------------
+
+def encode_ppm(image: Image, binary: bool = True) -> bytes:
+    """Encode as P6 (binary) or P3 (ASCII) PPM."""
+    header = f"{'P6' if binary else 'P3'}\n{image.width} {image.height}\n255\n"
+    if binary:
+        return header.encode("ascii") + image.pixels.tobytes()
+    rows = []
+    for row in image.pixels:
+        rows.append(" ".join(str(int(v)) for v in row.reshape(-1)))
+    return header.encode("ascii") + ("\n".join(rows) + "\n").encode("ascii")
+
+
+def _read_ppm_tokens(data: bytes, count: int, start: int) -> Tuple[list, int]:
+    """Read ``count`` whitespace-separated tokens, skipping # comments."""
+    tokens = []
+    i = start
+    n = len(data)
+    while len(tokens) < count and i < n:
+        c = data[i:i + 1]
+        if c.isspace():
+            i += 1
+        elif c == b"#":
+            while i < n and data[i:i + 1] != b"\n":
+                i += 1
+        else:
+            j = i
+            while j < n and not data[j:j + 1].isspace():
+                j += 1
+            tokens.append(data[i:j])
+            i = j
+    if len(tokens) < count:
+        raise ImageFormatError("truncated PPM header")
+    return tokens, i
+
+
+def decode_ppm(data: bytes) -> Image:
+    """Decode a P3 or P6 PPM image."""
+    if len(data) < 2 or data[:1] != b"P" or data[1:2] not in b"36":
+        raise ImageFormatError("not a PPM image (expected P3 or P6 magic)")
+    binary = data[1:2] == b"6"
+    (w_tok, h_tok, max_tok), i = _read_ppm_tokens(data, 3, 2)
+    width, height, maxval = int(w_tok), int(h_tok), int(max_tok)
+    if width <= 0 or height <= 0:
+        raise ImageFormatError(f"invalid PPM dimensions {width}x{height}")
+    if maxval != 255:
+        raise ImageFormatError(f"unsupported PPM maxval {maxval} (only 255)")
+    if binary:
+        i += 1  # single whitespace after maxval
+        expected = width * height * 3
+        raster = data[i:i + expected]
+        if len(raster) < expected:
+            raise ImageFormatError(
+                f"truncated P6 raster: {len(raster)} of {expected} bytes"
+            )
+        px = np.frombuffer(raster, dtype=np.uint8).reshape(height, width, 3).copy()
+        return Image(px)
+    tokens, _ = _read_ppm_tokens(data, width * height * 3, i)
+    values = np.array([int(t) for t in tokens], dtype=np.int64)
+    if values.min() < 0 or values.max() > 255:
+        raise ImageFormatError("P3 sample out of range 0..255")
+    return Image(values.astype(np.uint8).reshape(height, width, 3))
+
+
+# ---------------------------------------------------------------------------
+# BMP (uncompressed BI_RGB, 24bpp, bottom-up)
+# ---------------------------------------------------------------------------
+
+_BMP_FILE_HEADER = struct.Struct("<2sIHHI")
+_BMP_INFO_HEADER = struct.Struct("<IiiHHIIiiII")
+
+
+def encode_bmp(image: Image) -> bytes:
+    """Encode as an uncompressed 24-bit bottom-up BMP."""
+    row_size = (image.width * 3 + 3) & ~3
+    raster_size = row_size * image.height
+    offset = _BMP_FILE_HEADER.size + _BMP_INFO_HEADER.size
+    header = _BMP_FILE_HEADER.pack(b"BM", offset + raster_size, 0, 0, offset)
+    info = _BMP_INFO_HEADER.pack(
+        _BMP_INFO_HEADER.size, image.width, image.height, 1, 24, 0,
+        raster_size, 2835, 2835, 0, 0,
+    )
+    # BGR channel order, rows bottom-up, each padded to 4 bytes.
+    bgr = image.pixels[::-1, :, ::-1]
+    pad = row_size - image.width * 3
+    if pad:
+        padded = np.zeros((image.height, row_size), dtype=np.uint8)
+        padded[:, : image.width * 3] = bgr.reshape(image.height, -1)
+        raster = padded.tobytes()
+    else:
+        raster = bgr.tobytes()
+    return header + info + raster
+
+
+def decode_bmp(data: bytes) -> Image:
+    """Decode an uncompressed 24-bit BMP (top-down or bottom-up)."""
+    if len(data) < _BMP_FILE_HEADER.size + _BMP_INFO_HEADER.size:
+        raise ImageFormatError("truncated BMP header")
+    magic, _file_size, _, _, offset = _BMP_FILE_HEADER.unpack_from(data, 0)
+    if magic != b"BM":
+        raise ImageFormatError("not a BMP image (bad magic)")
+    (_hdr_size, width, height, _planes, bpp, compression,
+     _img_size, _xppm, _yppm, _colors, _important) = _BMP_INFO_HEADER.unpack_from(
+        data, _BMP_FILE_HEADER.size
+    )
+    if bpp != 24 or compression != 0:
+        raise ImageFormatError(f"unsupported BMP: bpp={bpp} compression={compression}")
+    bottom_up = height > 0
+    height = abs(height)
+    if width <= 0 or height == 0:
+        raise ImageFormatError(f"invalid BMP dimensions {width}x{height}")
+    row_size = (width * 3 + 3) & ~3
+    expected = row_size * height
+    raster = data[offset:offset + expected]
+    if len(raster) < expected:
+        raise ImageFormatError(f"truncated BMP raster: {len(raster)} of {expected}")
+    rows = np.frombuffer(raster, dtype=np.uint8).reshape(height, row_size)
+    bgr = rows[:, : width * 3].reshape(height, width, 3)
+    rgb = bgr[:, :, ::-1]
+    if bottom_up:
+        rgb = rgb[::-1]
+    return Image(rgb.copy())

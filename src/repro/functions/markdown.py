@@ -1,0 +1,75 @@
+"""The Markdown Render function (paper §4.1).
+
+"The Markdown Render converts a markdown to an HTML page. We embed a
+markdown inside the body of each incoming request, and receive the HTML
+page as response." The paper embedded the OpenPiton README; offline we
+ship a bundled document with equivalent structural variety.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, TYPE_CHECKING
+
+from repro.functions.base import FunctionApp, register_app
+from repro.functions.markdown_engine import render_document
+from repro.sim.costmodel import MARKDOWN_COSTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.base import ManagedRuntime, Request
+
+# Stand-in for the OpenPiton README the paper embedded in each request:
+# same structural mix (headings, lists, code fences, links, emphasis).
+SAMPLE_DOCUMENT = """\
+# OpenPiton Research Platform
+
+OpenPiton is the world's first *open source*, general-purpose,
+multithreaded *manycore* processor and framework.
+
+## Getting Started
+
+1. Set the `PITON_ROOT` environment variable
+2. Run the setup script:
+
+```bash
+source $PITON_ROOT/piton/piton_settings.bash
+sims -sys=manycore -x_tiles=2 -y_tiles=2 -vcs_build
+```
+
+## Features
+
+- Scalable tile-based architecture
+- **Configurable** core counts from 1 to 65536
+- Supports [FPGA emulation](https://example.org/fpga) and ASIC flows
+- Coherent caches with a directory-based protocol
+
+> OpenPiton was developed at Princeton University and released under
+> a BSD-style license.
+
+---
+
+### Citation
+
+If you use OpenPiton in your research, please cite the ASPLOS paper.
+"""
+
+
+class MarkdownFunction(FunctionApp):
+    """Render the request body (markdown) to a full HTML page."""
+
+    def __init__(self) -> None:
+        super().__init__(MARKDOWN_COSTS)
+
+    def artifact_size(self) -> int:
+        # The bundle ships a markdown library dependency.
+        return int(1.4 * 1024 * 1024)
+
+    def execute(self, runtime: "ManagedRuntime", request: "Request") -> Tuple[Any, int]:
+        source = request.body if isinstance(request.body, str) and request.body else SAMPLE_DOCUMENT
+        try:
+            html = render_document(source)
+        except Exception:  # malformed input must not kill the replica
+            return "render error", 500
+        return html, 200
+
+
+register_app("markdown", MarkdownFunction)

@@ -1,0 +1,15 @@
+"""A from-scratch Markdown → HTML renderer.
+
+This is the real compute behind the paper's "Markdown Render" function
+(§4.1: "converts a markdown to an HTML page"). It supports the core of
+CommonMark: ATX and setext headings, paragraphs, fenced and indented
+code blocks, blockquotes, ordered/unordered (nested) lists, thematic
+breaks, emphasis/strong, inline code, links, images, autolinks and hard
+breaks. It is deliberately dependency-free so the function bundle is
+self-contained, as in the paper's Java function.
+"""
+
+from repro.functions.markdown_engine.blocks import parse_blocks
+from repro.functions.markdown_engine.render import render, render_document
+
+__all__ = ["render", "render_document", "parse_blocks"]

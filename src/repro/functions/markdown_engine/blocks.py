@@ -1,0 +1,233 @@
+"""Block-level markdown parser.
+
+Line-oriented, single pass with recursive sub-parsing for container
+blocks (blockquotes and list items). Produces the AST defined in
+:mod:`repro.functions.markdown_engine.nodes`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.functions.markdown_engine.nodes import (
+    BlockQuote,
+    CodeBlock,
+    Document,
+    Heading,
+    HtmlBlock,
+    ListBlock,
+    ListItem,
+    Node,
+    Paragraph,
+    ThematicBreak,
+)
+
+_ATX_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_THEMATIC_RE = re.compile(r"^ {0,3}((\*\s*){3,}|(-\s*){3,}|(_\s*){3,})$")
+_FENCE_RE = re.compile(r"^ {0,3}(```+|~~~+)\s*([^`\s]*)\s*$")
+_ORDERED_RE = re.compile(r"^( {0,3})(\d{1,9})([.)])\s+(.*)$")
+_BULLET_RE = re.compile(r"^( {0,3})([-+*])\s+(.*)$")
+_QUOTE_RE = re.compile(r"^ {0,3}>\s?(.*)$")
+_SETEXT_RE = re.compile(r"^ {0,3}(=+|-+)\s*$")
+_HTML_BLOCK_RE = re.compile(r"^ {0,3}<(?:[a-zA-Z][^>]*|/[a-zA-Z][^>]*|!--.*)>?")
+
+
+def _is_blank(line: str) -> bool:
+    return not line.strip()
+
+
+def parse_blocks(text: str) -> Document:
+    """Parse markdown ``text`` into a :class:`Document` AST."""
+    lines = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    return Document(children=_parse_lines(lines))
+
+
+def _parse_lines(lines: List[str]) -> List[Node]:
+    nodes: List[Node] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        if _is_blank(line):
+            i += 1
+            continue
+
+        # Fenced code block.
+        fence = _FENCE_RE.match(line)
+        if fence:
+            marker, language = fence.group(1), fence.group(2)
+            close_re = re.compile(r"^ {0,3}" + re.escape(marker[0]) + "{" + str(len(marker)) + r",}\s*$")
+            body: List[str] = []
+            i += 1
+            while i < n and not close_re.match(lines[i]):
+                body.append(lines[i])
+                i += 1
+            i += 1  # skip the closing fence (or run off the end)
+            nodes.append(CodeBlock(code="\n".join(body), language=language, fenced=True))
+            continue
+
+        # Thematic break (checked before lists: `---` vs `- item`).
+        if _THEMATIC_RE.match(line):
+            nodes.append(ThematicBreak())
+            i += 1
+            continue
+
+        # ATX heading.
+        atx = _ATX_RE.match(line.lstrip())
+        if atx and len(line) - len(line.lstrip()) <= 3:
+            nodes.append(Heading(level=len(atx.group(1)), text=atx.group(2)))
+            i += 1
+            continue
+
+        # Blockquote: gather the contiguous quoted run, strip markers, recurse.
+        if _QUOTE_RE.match(line):
+            quoted: List[str] = []
+            while i < n:
+                m = _QUOTE_RE.match(lines[i])
+                if m:
+                    quoted.append(m.group(1))
+                elif not _is_blank(lines[i]) and quoted and not _is_blank(quoted[-1]):
+                    quoted.append(lines[i])  # lazy continuation
+                else:
+                    break
+                i += 1
+            nodes.append(BlockQuote(children=_parse_lines(quoted)))
+            continue
+
+        # Lists.
+        if _BULLET_RE.match(line) or _ORDERED_RE.match(line):
+            block, i = _parse_list(lines, i)
+            nodes.append(block)
+            continue
+
+        # Indented code block (4+ spaces, not a list continuation).
+        if line.startswith("    "):
+            body = []
+            while i < n and (lines[i].startswith("    ") or _is_blank(lines[i])):
+                body.append(lines[i][4:] if lines[i].startswith("    ") else "")
+                i += 1
+            while body and not body[-1].strip():
+                body.pop()
+            nodes.append(CodeBlock(code="\n".join(body), fenced=False))
+            continue
+
+        # Raw HTML block.
+        if _HTML_BLOCK_RE.match(line):
+            body = []
+            while i < n and not _is_blank(lines[i]):
+                body.append(lines[i])
+                i += 1
+            nodes.append(HtmlBlock(html="\n".join(body)))
+            continue
+
+        # Paragraph (with setext heading lookahead).
+        para: List[Tuple[str, bool]] = []  # (content, ends-with-hard-break)
+        while i < n and not _is_blank(lines[i]):
+            nxt = lines[i]
+            if para:
+                setext = _SETEXT_RE.match(nxt)
+                if setext:
+                    level = 1 if setext.group(1)[0] == "=" else 2
+                    nodes.append(Heading(
+                        level=level, text=" ".join(s for s, _ in para)))
+                    para = []
+                    i += 1
+                    break
+                if (_BULLET_RE.match(nxt) or _ORDERED_RE.match(nxt)
+                        or _QUOTE_RE.match(nxt) or _FENCE_RE.match(nxt)
+                        or _THEMATIC_RE.match(nxt)
+                        or (_ATX_RE.match(nxt.lstrip()) and len(nxt) - len(nxt.lstrip()) <= 3)):
+                    break
+            para.append((nxt.strip(), nxt.endswith("  ")))
+            i += 1
+        if para:
+            nodes.append(Paragraph(text=_join_paragraph(para)))
+    return nodes
+
+
+def _join_paragraph(parts: List[Tuple[str, bool]]) -> str:
+    """Join paragraph lines; trailing double spaces become hard breaks."""
+    out = []
+    for index, (content, hard) in enumerate(parts):
+        out.append(content)
+        if index < len(parts) - 1:
+            out.append("  \n" if hard else " ")
+    return "".join(out)
+
+
+def _match_list_item(line: str) -> Optional[Tuple[bool, int, int, str]]:
+    """Return (ordered, start, content_indent, first_content) or None."""
+    m = _BULLET_RE.match(line)
+    if m:
+        indent = len(m.group(1)) + len(m.group(2)) + 1
+        return False, 1, indent, m.group(3)
+    m = _ORDERED_RE.match(line)
+    if m:
+        indent = len(m.group(1)) + len(m.group(2)) + len(m.group(3)) + 1
+        return True, int(m.group(2)), indent, m.group(4)
+    return None
+
+
+def _parse_list(lines: List[str], i: int) -> Tuple[ListBlock, int]:
+    """Parse a run of list items starting at ``lines[i]``."""
+    first = _match_list_item(lines[i])
+    assert first is not None
+    ordered = first[0]
+    block = ListBlock(ordered=ordered, start=first[1])
+    n = len(lines)
+    saw_blank_inside = False
+    while i < n:
+        line = lines[i]
+        item_match = _match_list_item(line)
+        if item_match is None:
+            break
+        if item_match[0] != ordered:
+            break  # list type change ends this list
+        _, _, content_indent, first_content = item_match
+        item_lines = [first_content]
+        i += 1
+        blank_run = 0
+        while i < n:
+            cont = lines[i]
+            if _is_blank(cont):
+                blank_run += 1
+                if blank_run > 1:
+                    break
+                item_lines.append("")
+                i += 1
+                continue
+            stripped_indent = len(cont) - len(cont.lstrip())
+            if stripped_indent >= content_indent:
+                item_lines.append(cont[content_indent:])
+                blank_run = 0
+                i += 1
+                continue
+            if blank_run == 0 and _match_list_item(cont) is None and not _QUOTE_RE.match(cont):
+                # Lazy continuation of the item's trailing paragraph.
+                item_lines.append(cont.strip())
+                i += 1
+                continue
+            break
+        # Trailing blanks make the list loose only when another sibling
+        # item follows; a blank before unrelated content just ends the
+        # list.
+        trailing_blank = False
+        while item_lines and not item_lines[-1].strip():
+            item_lines.pop()
+            trailing_blank = True
+        if trailing_blank and i < n and _match_list_item(lines[i]) is not None:
+            saw_blank_inside = True
+        if any(_is_blank(l) for l in item_lines):
+            saw_blank_inside = True
+        block.items.append(ListItem(children=_parse_lines(item_lines)))
+        # Skip blank separator lines between sibling items.
+        while i < n and _is_blank(lines[i]):
+            nxt = i + 1
+            if nxt < n and _match_list_item(lines[nxt]) is not None:
+                saw_blank_inside = True
+                i += 1
+            else:
+                break
+    block.tight = not saw_blank_inside
+    return block, i

@@ -1,0 +1,30 @@
+"""The NOOP function (paper §4.1).
+
+"It does nothing and returns success to every incoming request. The
+function business logic neither has extra dependencies nor adds extra
+processing/memory overhead." It is the paper's lower bound on prebaking
+improvement (40 %).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, TYPE_CHECKING
+
+from repro.functions.base import FunctionApp, register_app
+from repro.sim.costmodel import NOOP_COSTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.base import ManagedRuntime, Request
+
+
+class NoopFunction(FunctionApp):
+    """Acknowledge every request with an empty 200."""
+
+    def __init__(self) -> None:
+        super().__init__(NOOP_COSTS)
+
+    def execute(self, runtime: "ManagedRuntime", request: "Request") -> Tuple[Any, int]:
+        return "", 200
+
+
+register_app("noop", NoopFunction)

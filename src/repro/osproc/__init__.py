@@ -1,0 +1,42 @@
+"""Simulated operating-system substrate.
+
+Implements the pieces of Linux that CRIU-style checkpoint/restore
+manipulates: processes and threads with address spaces made of VMAs and
+4 KiB pages, a file table and page cache, namespaces, a cgroup freezer,
+ptrace, and a ``/proc/<pid>/pagemap`` view. System calls are charged
+against the simulation clock using the calibrated cost model and are
+observable through the probe registry (the repo's bpftrace analog).
+"""
+
+from repro.osproc.kernel import Kernel, KernelError, PermissionDenied
+from repro.osproc.memory import AddressSpace, MemoryError_, Page, VMA, VMAKind, PAGE_SIZE
+from repro.osproc.filesystem import FileDescriptor, FileSystem, PageCache, VirtualFile
+from repro.osproc.namespaces import Namespace, NamespaceKind, NamespaceSet
+from repro.osproc.process import Capability, Process, ProcessState, Thread, ThreadState
+from repro.osproc.probes import ProbeRegistry, SyscallRecord
+
+__all__ = [
+    "Kernel",
+    "KernelError",
+    "PermissionDenied",
+    "AddressSpace",
+    "MemoryError_",
+    "Page",
+    "VMA",
+    "VMAKind",
+    "PAGE_SIZE",
+    "FileDescriptor",
+    "FileSystem",
+    "PageCache",
+    "VirtualFile",
+    "Namespace",
+    "NamespaceKind",
+    "NamespaceSet",
+    "Capability",
+    "Process",
+    "ProcessState",
+    "Thread",
+    "ThreadState",
+    "ProbeRegistry",
+    "SyscallRecord",
+]

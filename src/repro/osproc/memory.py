@@ -1,0 +1,225 @@
+"""Virtual-memory model: pages, VMAs, address spaces, pagemap.
+
+This is the data CRIU walks during a dump: the checkpoint engine reads
+``/proc/<pid>/pagemap`` to find resident pages and copies them out of
+the target address space. The model keeps enough structure for that
+protocol to be exercised faithfully (per-VMA kind/protection, resident
+page sets, dirty/soft-dirty bits, file-backed vs anonymous mappings)
+without storing real page contents — a page stores a small content tag
+so snapshot/restore round-trips are verifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+PAGE_SIZE = 4096
+PAGES_PER_MIB = (1024 * 1024) // PAGE_SIZE
+
+
+class MemoryError_(Exception):
+    """Address-space manipulation error (name avoids builtin clash)."""
+
+
+class VMAKind(Enum):
+    """What a mapping backs — drives dump/restore behaviour."""
+
+    ANON = "anon"              # heap, malloc arenas
+    FILE = "file"              # mmap'ed files (class files, shared libs)
+    STACK = "stack"
+    CODE = "code"              # executable text (incl. JIT code cache)
+    METASPACE = "metaspace"    # class metadata (JVM)
+    VDSO = "vdso"
+    PARASITE = "parasite"      # CRIU-injected blob
+
+
+@dataclass
+class Page:
+    """A resident 4 KiB page."""
+
+    index: int                 # page index within its VMA
+    content_tag: str = ""      # opaque identity used to verify round-trips
+    dirty: bool = False
+    soft_dirty: bool = False
+
+
+@dataclass
+class VMA:
+    """A contiguous virtual memory area."""
+
+    start: int
+    length: int                # bytes; must be page-aligned
+    kind: VMAKind
+    prot: str = "rw-"          # unix-style rwx string
+    file_path: Optional[str] = None
+    file_offset: int = 0
+    label: str = ""
+    pages: Dict[int, Page] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.length % PAGE_SIZE:
+            raise MemoryError_(f"VMA length must be a positive page multiple, got {self.length}")
+        if self.start % PAGE_SIZE:
+            raise MemoryError_(f"VMA start must be page aligned, got {hex(self.start)}")
+        if self.kind is VMAKind.FILE and not self.file_path:
+            raise MemoryError_("file-backed VMA requires file_path")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def page_count(self) -> int:
+        return self.length // PAGE_SIZE
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.resident_pages * PAGE_SIZE
+
+    def touch(self, page_index: int, content_tag: str = "", dirty: bool = True) -> Page:
+        """Fault a page in (make it resident)."""
+        if not 0 <= page_index < self.page_count:
+            raise MemoryError_(
+                f"page index {page_index} out of range for VMA of {self.page_count} pages"
+            )
+        page = self.pages.get(page_index)
+        if page is None:
+            page = Page(index=page_index, content_tag=content_tag, dirty=dirty)
+            self.pages[page_index] = page
+        else:
+            page.dirty = page.dirty or dirty
+            if content_tag:
+                page.content_tag = content_tag
+        page.soft_dirty = True
+        return page
+
+    def touch_range(self, first: int, count: int, content_tag: str = "") -> None:
+        for i in range(first, first + count):
+            self.touch(i, content_tag=content_tag)
+
+    def overlaps(self, other: "VMA") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class AddressSpace:
+    """An ordered collection of non-overlapping VMAs."""
+
+    def __init__(self) -> None:
+        self._vmas: List[VMA] = []
+        self._next_mmap_base = 0x7F00_0000_0000
+
+    # -- mapping -------------------------------------------------------------
+
+    def mmap(
+        self,
+        length: int,
+        kind: VMAKind,
+        prot: str = "rw-",
+        start: Optional[int] = None,
+        file_path: Optional[str] = None,
+        file_offset: int = 0,
+        label: str = "",
+        populate: bool = False,
+        content_tag: str = "",
+    ) -> VMA:
+        """Create a mapping; kernel picks the address unless ``start`` given."""
+        length = -(-length // PAGE_SIZE) * PAGE_SIZE  # round up to page multiple
+        if start is None:
+            start = self._next_mmap_base
+            self._next_mmap_base += length + PAGE_SIZE  # guard page gap
+        vma = VMA(
+            start=start,
+            length=length,
+            kind=kind,
+            prot=prot,
+            file_path=file_path,
+            file_offset=file_offset,
+            label=label,
+        )
+        for existing in self._vmas:
+            if existing.overlaps(vma):
+                raise MemoryError_(
+                    f"mapping [{hex(vma.start)},{hex(vma.end)}) overlaps "
+                    f"[{hex(existing.start)},{hex(existing.end)}) ({existing.label})"
+                )
+        self._vmas.append(vma)
+        self._vmas.sort(key=lambda v: v.start)
+        # Keep the allocator above every mapping, including ones placed
+        # at explicit addresses (e.g. by a checkpoint restore).
+        self._next_mmap_base = max(self._next_mmap_base, vma.end + PAGE_SIZE)
+        if populate:
+            vma.touch_range(0, vma.page_count, content_tag=content_tag)
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        try:
+            self._vmas.remove(vma)
+        except ValueError:
+            raise MemoryError_(f"VMA at {hex(vma.start)} not mapped in this address space")
+
+    def clear(self) -> None:
+        """Drop every mapping (the effect of ``execve``)."""
+        self._vmas.clear()
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def vmas(self) -> Tuple[VMA, ...]:
+        return tuple(self._vmas)
+
+    def find(self, addr: int) -> Optional[VMA]:
+        for vma in self._vmas:
+            if vma.start <= addr < vma.end:
+                return vma
+        return None
+
+    def find_by_label(self, label: str) -> Optional[VMA]:
+        for vma in self._vmas:
+            if vma.label == label:
+                return vma
+        return None
+
+    @property
+    def rss_bytes(self) -> int:
+        return sum(v.resident_bytes for v in self._vmas)
+
+    @property
+    def rss_mib(self) -> float:
+        return self.rss_bytes / (1024 * 1024)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(v.length for v in self._vmas)
+
+    def iter_resident(self) -> Iterator[Tuple[VMA, Page]]:
+        """Yield (vma, page) for every resident page, address order.
+
+        This is exactly the view ``/proc/<pid>/pagemap`` gives CRIU.
+        """
+        for vma in self._vmas:
+            for index in sorted(vma.pages):
+                yield vma, vma.pages[index]
+
+    def clear_soft_dirty(self) -> None:
+        """Model writing ``4`` to ``/proc/<pid>/clear_refs`` (pre-dump)."""
+        for vma in self._vmas:
+            for page in vma.pages.values():
+                page.soft_dirty = False
+
+    def grow_anon(self, label: str, mib: float, kind: VMAKind = VMAKind.ANON,
+                  content_tag: str = "") -> VMA:
+        """Convenience: map and populate ``mib`` MiB of anonymous memory."""
+        pages = max(1, int(round(mib * PAGES_PER_MIB)))
+        return self.mmap(
+            length=pages * PAGE_SIZE,
+            kind=kind,
+            label=label,
+            populate=True,
+            content_tag=content_tag,
+        )

@@ -1,0 +1,27 @@
+"""Real-process measurements on the host machine.
+
+Two start techniques, mirroring the paper's comparison with what an
+offline Python host can actually do:
+
+* **vanilla** — fork-exec a fresh CPython interpreter that imports its
+  function's dependencies before signalling readiness (the standard
+  cold start);
+* **zygote** — fork a ready-to-serve worker out of a long-lived,
+  pre-imported "zygote" process: the closest real prebake analog
+  available without a ``criu`` binary (restore-from-warm-state with no
+  interpreter boot and no imports). When a real ``criu`` exists,
+  :class:`repro.criu.cli.CriuCli` drives genuine dump/restore instead.
+"""
+
+from repro.realproc.child import FUNCTION_NAMES
+from repro.realproc.runner import VanillaProcessRunner, RealStartupSample
+from repro.realproc.zygote import ZygoteRunner
+from repro.realproc.timing import compare_startup
+
+__all__ = [
+    "FUNCTION_NAMES",
+    "VanillaProcessRunner",
+    "RealStartupSample",
+    "ZygoteRunner",
+    "compare_startup",
+]

@@ -1,0 +1,35 @@
+"""Managed runtime environments hosted inside simulated processes.
+
+The paper's measurements are dominated by what happens *inside* the
+runtime: the JVM's native bootstrap (RTS phase), application
+initialization (APPINIT), and lazy class loading + JIT compilation on
+the first request. :class:`~repro.runtime.jvm.JVMRuntime` models those
+mechanisms; :mod:`repro.runtime.classes` generates the synthetic
+class sets of §4.2.2; CPython/Node.js models cover the runtimes the
+paper names as future work (§7).
+"""
+
+from repro.runtime.base import ManagedRuntime, Request, Response, RuntimeError_
+from repro.runtime.classes import SyntheticClass, generate_classes
+from repro.runtime.jvm import JVMConfig, JVMRuntime
+from repro.runtime.python_rt import CPythonRuntime
+from repro.runtime.nodejs import NodeJSRuntime
+
+__all__ = [
+    "ManagedRuntime",
+    "Request",
+    "Response",
+    "RuntimeError_",
+    "SyntheticClass",
+    "generate_classes",
+    "JVMConfig",
+    "JVMRuntime",
+    "CPythonRuntime",
+    "NodeJSRuntime",
+]
+
+RUNTIME_KINDS = {
+    "jvm": JVMRuntime,
+    "python": CPythonRuntime,
+    "nodejs": NodeJSRuntime,
+}

@@ -1,0 +1,216 @@
+"""Abstract managed runtime and the request/response protocol.
+
+A runtime lives inside exactly one simulated process. Its lifecycle
+matches the paper's start-up phase decomposition (§4.2.1):
+
+* :meth:`boot` — the RTS phase (native runtime bootstrap, from the end
+  of ``execve`` to the first line of ``main()``);
+* :meth:`load_application` — the APPINIT phase (everything until the
+  embedded HTTP server can take the first request);
+* :meth:`handle` — per-request service, including the lazy class
+  loading / JIT compilation a first invocation can trigger.
+
+Lifecycle boundaries are published through the kernel probe registry so
+benchmark tracers measure phase durations the way the paper did.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.osproc.kernel import Kernel
+from repro.osproc.process import Process, ProcessState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.functions.base import FunctionApp
+
+
+class RuntimeError_(Exception):
+    """Runtime lifecycle violation (bad phase ordering, dead process)."""
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """An invocation arriving at a function replica."""
+
+    body: Any = None
+    path: str = "/"
+    method: str = "POST"
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    arrival_ms: float = 0.0
+
+
+@dataclass
+class Response:
+    """The replica's reply, stamped with virtual service timing."""
+
+    status: int
+    body: Any = None
+    request_id: int = 0
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+
+    @property
+    def service_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ManagedRuntime:
+    """Base class for all runtime models."""
+
+    kind = "abstract"
+    rts_ms = 0.0  # native bootstrap duration before main()
+
+    def __init__(self, kernel: Kernel, process: Process) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.app: Optional["FunctionApp"] = None
+        self.booted = False
+        self.ready = False
+        self.requests_served = 0
+        process.payload["runtime"] = self
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if self.process.state is not ProcessState.RUNNING:
+            raise RuntimeError_(
+                f"pid {self.process.pid} is {self.process.state.value}, not running"
+            )
+
+    def boot(self) -> None:
+        """Run the RTS phase (idempotence is an error: boot once)."""
+        self._require_alive()
+        if self.booted:
+            raise RuntimeError_("runtime already booted")
+        duration = self.kernel.costs.jitter(
+            self.rts_ms, self.kernel.streams, f"{self.kind}.rts"
+        )
+        self.kernel.clock.advance(duration)
+        self._map_base_memory()
+        self.booted = True
+        # The paper logged "before the runtime starts executing the
+        # first line of code" — i.e. main() entry ends the RTS phase.
+        self.kernel.probes.syscall_enter(
+            "runtime.main", self.process.pid, self.kernel.clock.now, detail=self.kind
+        )
+
+    def load_application(self, app: "FunctionApp") -> None:
+        """Run the APPINIT phase and mark the runtime ready."""
+        self._require_alive()
+        if not self.booted:
+            raise RuntimeError_("boot() must run before load_application()")
+        if self.ready:
+            raise RuntimeError_("application already loaded")
+        self.app = app
+        self._app_init(app)
+        self.ready = True
+        self.kernel.probes.syscall_enter(
+            "runtime.ready", self.process.pid, self.kernel.clock.now, detail=app.name
+        )
+
+    def handle(self, request: Request) -> Response:
+        """Serve one request, charging lazy-load + service costs."""
+        self._require_alive()
+        if not self.ready or self.app is None:
+            raise RuntimeError_("runtime is not ready to serve requests")
+        started = self.kernel.clock.now
+        # A lazily-restored process faults its remaining pages in on
+        # first touch; the deferred mapping cost lands on this request.
+        debt = self.process.payload.pop("lazy_restore_debt_ms", 0.0)
+        if debt:
+            self.kernel.clock.advance(
+                self.kernel.costs.jitter(debt, self.kernel.streams, "criu.lazy-pages")
+            )
+        self._before_request(request)
+        body, status = self.app.execute(self, request)
+        duration = self.kernel.streams.lognormal_jitter(
+            f"{self.kind}.service", self.app.profile.service_ms,
+            self.app.profile.service_sigma,
+        )
+        self.kernel.clock.advance(duration)
+        self.requests_served += 1
+        if self.requests_served == 1:
+            self.kernel.probes.syscall_enter(
+                "runtime.first_response", self.process.pid, self.kernel.clock.now
+            )
+        return Response(
+            status=status,
+            body=body,
+            request_id=request.request_id,
+            started_ms=started,
+            finished_ms=self.kernel.clock.now,
+        )
+
+    # -- restore support --------------------------------------------------------
+
+    def mark_restored(self) -> None:
+        """Called by the restore engine on the resurrected runtime.
+
+        A restored runtime never replays boot/app-init: it resumes with
+        whatever ``booted``/``ready``/class state the snapshot carried.
+        """
+        if self.ready:
+            self.kernel.probes.syscall_enter(
+                "runtime.ready", self.process.pid, self.kernel.clock.now,
+                detail=f"{self.app.name if self.app else ''}:restored",
+            )
+
+    # -- checkpoint state protocol ---------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serialize the runtime's logical state into a checkpoint image.
+
+        The memory model stores page *structure*; this carries the
+        semantic state those pages would hold in a real dump (loaded
+        classes, JIT state, the application object).
+        """
+        return {
+            "kind": self.kind,
+            "booted": self.booted,
+            "ready": self.ready,
+            "requests_served": self.requests_served,
+            "app": copy.deepcopy(self.app),
+            "extra": self._extra_state(),
+        }
+
+    @classmethod
+    def from_snapshot_state(
+        cls, kernel: Kernel, process: Process, state: Dict[str, Any]
+    ) -> "ManagedRuntime":
+        """Rebuild a runtime inside ``process`` from snapshotted state."""
+        runtime = cls(kernel, process)
+        runtime.booted = state["booted"]
+        runtime.ready = state["ready"]
+        runtime.requests_served = state["requests_served"]
+        runtime.app = copy.deepcopy(state["app"])
+        runtime._apply_extra_state(state.get("extra", {}))
+        return runtime
+
+    def _extra_state(self) -> Dict[str, Any]:
+        """Runtime-specific state to include in snapshots."""
+        return {}
+
+    def _apply_extra_state(self, extra: Dict[str, Any]) -> None:
+        """Re-apply runtime-specific snapshot state after restore."""
+
+    # -- hooks ------------------------------------------------------------------
+
+    def _map_base_memory(self) -> None:
+        raise NotImplementedError
+
+    def _app_init(self, app: "FunctionApp") -> None:
+        raise NotImplementedError
+
+    def _before_request(self, request: Request) -> None:
+        """Lazy work a request can trigger (class loading, JIT)."""

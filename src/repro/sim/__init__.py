@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the virtual time base every other subsystem runs
+on: a millisecond-resolution clock (:class:`~repro.sim.clock.SimClock`),
+an event queue and coroutine-style process engine
+(:class:`~repro.sim.engine.Simulation`), seeded random-number streams
+(:class:`~repro.sim.rng.RandomStreams`) and the calibrated cost model
+(:class:`~repro.sim.costmodel.CostModel`) whose rates were fitted to the
+numbers reported in the paper (see DESIGN.md section 4).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel, FunctionCosts
+from repro.sim.engine import Simulation, SimProcess
+from repro.sim.events import Event, EventQueue, Signal
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "FunctionCosts",
+    "Simulation",
+    "SimProcess",
+    "Event",
+    "EventQueue",
+    "Signal",
+    "RandomStreams",
+]

@@ -1,0 +1,254 @@
+"""Calibrated cost model for the simulated substrate.
+
+Every rate below is *fitted to numbers the paper reports* (Middleware
+'20, Table 1 and Section 4). The fit procedure is recorded next to each
+constant so the calibration is auditable:
+
+* The paper's synthetic functions (small = 374 classes / 2.8 MiB,
+  medium = 574 / 9.2 MiB, big = 1574 / 41 MiB) give three measurements
+  per start-up technique, enough to fit two-parameter linear models:
+
+  - vanilla (fork-exec) start-up =
+    ``CLONE + EXEC + RTS + APPINIT_BASE + classes*COLD_PER_CLASS +
+    kib*COLD_PER_KIB`` — fits all three paper values within 0.7 %;
+  - prebake restore = ``RESTORE_BASE + mib*RESTORE_PER_MIB`` — fits the
+    small/big warm-snapshot rows exactly and medium within ~7 %;
+  - post-restore lazy class loading keeps the per-class linking cost
+    but pays a lower per-byte cost (the restore pass leaves the class
+    file pages warm in the page cache) — fits within ~3 %.
+
+* The three *real* functions (NOOP / Markdown / Image Resizer) do not
+  fit any single monotone size model: the paper's NOOP restores slower
+  than Markdown despite a smaller snapshot (13 MiB vs 14 MiB). Their
+  profiles therefore carry per-function calibrated medians taken
+  straight from the paper's reported numbers; see
+  :data:`NOOP_COSTS` / :data:`MARKDOWN_COSTS` / :data:`IMAGE_RESIZER_COSTS`.
+
+All durations are milliseconds; sizes are MiB unless suffixed ``_kib``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.rng import RandomStreams
+
+KIB_PER_MIB = 1024.0
+
+
+@dataclass(frozen=True)
+class FunctionCosts:
+    """Per-function calibrated timing/size profile.
+
+    ``restore_ready_ms`` / ``restore_warm_ms`` override the generic
+    restore formula when the paper reports a measured value; ``None``
+    means "derive from snapshot size via :meth:`CostModel.restore_cost`".
+    """
+
+    name: str
+    appinit_vanilla_ms: float
+    snapshot_ready_mib: float
+    snapshot_warm_mib: float
+    service_ms: float
+    service_sigma: float = 0.06
+    restore_ready_ms: Optional[float] = None
+    restore_warm_ms: Optional[float] = None
+    classes: int = 0
+    class_kib: float = 0.0
+    startup_metric: str = "ready"  # "ready" | "first_response"
+
+    def snapshot_mib(self, warm: bool) -> float:
+        return self.snapshot_warm_mib if warm else self.snapshot_ready_mib
+
+    def restore_override_ms(self, warm: bool) -> Optional[float]:
+        return self.restore_warm_ms if warm else self.restore_ready_ms
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Substrate-wide calibrated rates (see module docstring)."""
+
+    # Fig 4: CLONE and EXEC "contribute a tiny fraction" of start-up.
+    clone_ms: float = 0.45
+    exec_ms: float = 1.55
+    # Fig 4: vanilla RTS adds ~70 ms regardless of the function.
+    jvm_rts_ms: float = 70.0
+    # Baseline APPINIT of the embedded HTTP server in the synthetic
+    # functions (the remainder after subtracting the class-load fit).
+    appinit_base_ms: float = 5.0
+
+    # Cold (fork-exec path) class load + JIT; fitted to Table 1 vanilla
+    # rows within 0.7 %.
+    cold_load_per_class_ms: float = 0.1372
+    cold_load_per_kib_ms: float = 0.03265
+
+    # Lazy class load on the first request of an *unwarmed* restored
+    # process; per-class linking cost unchanged, per-byte cost reduced
+    # by restore-time page-cache warming. Fitted to Table 1
+    # PB-NOWarmup rows within ~3 %.
+    restored_load_per_class_ms: float = 0.1372
+    restored_load_per_kib_ms: float = 0.0252
+
+    # CRIU restore: fixed engine overhead + per-MiB page mapping cost.
+    # Fitted to Table 1 PB-Warmup small/big rows.
+    restore_base_ms: float = 42.2
+    restore_per_mib_ms: float = 0.775
+    # Spawning the criu process itself (clone+exec of /usr/sbin/criu).
+    criu_spawn_ms: float = 2.0
+    # Per-MiB restore-cost multiplier when the image is served from an
+    # in-memory cache instead of disk (future-work optimization [26]).
+    restore_in_memory_factor: float = 0.45
+
+    # Checkpoint (dump) side — exercised by the build pipeline only;
+    # the paper does not evaluate dump latency (it happens at build
+    # time), so these are plausible engineering numbers.
+    freeze_ms: float = 1.0
+    parasite_inject_ms: float = 1.5
+    dump_per_mib_ms: float = 1.1
+    dump_base_ms: float = 8.0
+
+    # Container-level provisioning (excluded from the paper's
+    # experiments, §4.1: "we deliberately excluded ... container
+    # orchestrators"); non-zero only in the OpenFaaS integration demos.
+    container_provision_ms: float = 0.0
+
+    # Log-normal jitter applied per phase; sized so 200-rep bootstrap
+    # CIs match the ~±0.5 ms widths of the paper's Table 1.
+    noise_sigma: float = 0.015
+
+    # -- derived costs -------------------------------------------------------
+
+    def cold_load_cost(self, classes: int, kib: float) -> float:
+        """Class load + JIT compile cost on the fork-exec path."""
+        return classes * self.cold_load_per_class_ms + kib * self.cold_load_per_kib_ms
+
+    def restored_load_cost(self, classes: int, kib: float) -> float:
+        """Lazy class load cost on the first request after restore."""
+        return classes * self.restored_load_per_class_ms + kib * self.restored_load_per_kib_ms
+
+    def restore_cost(self, image_mib: float, override_ms: Optional[float] = None) -> float:
+        """Snapshot restore duration (excluding criu process spawn)."""
+        if override_ms is not None:
+            return override_ms
+        return self.restore_base_ms + image_mib * self.restore_per_mib_ms
+
+    def dump_cost(self, image_mib: float) -> float:
+        """Checkpoint dump duration for an ``image_mib``-sized image."""
+        return (
+            self.freeze_ms
+            + self.parasite_inject_ms
+            + self.dump_base_ms
+            + image_mib * self.dump_per_mib_ms
+        )
+
+    def jitter(self, median: float, streams: RandomStreams, stream_name: str) -> float:
+        """Apply seeded log-normal jitter to a median duration."""
+        return streams.lognormal_jitter(stream_name, median, self.noise_sigma)
+
+    def with_noise_sigma(self, sigma: float) -> "CostModel":
+        """Return a copy with a different noise level (0 = deterministic)."""
+        return replace(self, noise_sigma=sigma)
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+def _mib(kib: float) -> float:
+    return kib / KIB_PER_MIB
+
+
+# --------------------------------------------------------------------------
+# Real-function profiles (paper §4.2, Figures 3/4/7).
+#
+# Calibration notes:
+#   NOOP:    vanilla ≈ 103 ms (paper: 40 % improvement, median difference
+#            [40.35, 42.29] ms); prebaked ≈ 62 ms; snapshot 13 MiB.
+#   MARKDOWN: "reduced from 100 ms to 53 ms" — vanilla 100, prebaked 53;
+#            snapshot 14 MiB.
+#   RESIZER: "decreased from 310 ms to 87 ms" — snapshot 99.2 MiB; its
+#            APPINIT loads a 1 MiB 3440x1440 image (the I/O the paper
+#            calls out as dominating its vanilla APPINIT).
+# Vanilla APPINIT = vanilla_total - (CLONE + EXEC + RTS) = total - 72 ms.
+# Prebake restore = prebake_total - criu_spawn = total - 2 ms.
+# --------------------------------------------------------------------------
+
+NOOP_COSTS = FunctionCosts(
+    name="noop",
+    appinit_vanilla_ms=31.3,
+    snapshot_ready_mib=13.0,
+    snapshot_warm_mib=13.0,
+    restore_ready_ms=60.0,
+    restore_warm_ms=60.0,
+    service_ms=0.9,
+    service_sigma=0.10,
+)
+
+MARKDOWN_COSTS = FunctionCosts(
+    name="markdown",
+    appinit_vanilla_ms=28.0,
+    snapshot_ready_mib=14.0,
+    snapshot_warm_mib=14.3,
+    restore_ready_ms=51.0,
+    restore_warm_ms=51.2,
+    service_ms=4.2,
+    service_sigma=0.08,
+)
+
+IMAGE_RESIZER_COSTS = FunctionCosts(
+    name="image-resizer",
+    appinit_vanilla_ms=238.0,
+    snapshot_ready_mib=99.2,
+    snapshot_warm_mib=101.0,
+    restore_ready_ms=85.0,
+    restore_warm_ms=86.4,
+    service_ms=22.0,
+    service_sigma=0.06,
+)
+
+
+# --------------------------------------------------------------------------
+# Synthetic function profiles (paper §4.2.2, Figures 5/6, Table 1).
+# Classes load lazily on the *first invocation*, so the start-up metric
+# for these experiments is time-to-first-response (as measured by the
+# paper's load generator). Sizes straight from the paper.
+# --------------------------------------------------------------------------
+
+
+def synthetic_costs(name: str, classes: int, class_kib: float,
+                    base_rss_mib: float = 13.0,
+                    service_ms: float = 0.5) -> FunctionCosts:
+    """Build the profile of a synthetic class-loading function.
+
+    The ready-state snapshot holds only the bare runtime
+    (``base_rss_mib``); the warm snapshot additionally holds the loaded
+    classes (+ JIT artifacts), i.e. ``base_rss_mib + class_kib``.
+    """
+    return FunctionCosts(
+        name=name,
+        appinit_vanilla_ms=DEFAULT_COST_MODEL.appinit_base_ms,
+        snapshot_ready_mib=base_rss_mib,
+        snapshot_warm_mib=base_rss_mib + _mib(class_kib),
+        service_ms=service_ms,
+        service_sigma=0.10,
+        classes=classes,
+        class_kib=class_kib,
+        startup_metric="first_response",
+    )
+
+
+SYNTHETIC_SMALL = synthetic_costs("synthetic-small", classes=374, class_kib=2.8 * 1024)
+SYNTHETIC_MEDIUM = synthetic_costs("synthetic-medium", classes=574, class_kib=9.2 * 1024)
+SYNTHETIC_BIG = synthetic_costs("synthetic-big", classes=1574, class_kib=41.0 * 1024)
+
+BUILTIN_PROFILES = {
+    p.name: p
+    for p in (
+        NOOP_COSTS,
+        MARKDOWN_COSTS,
+        IMAGE_RESIZER_COSTS,
+        SYNTHETIC_SMALL,
+        SYNTHETIC_MEDIUM,
+        SYNTHETIC_BIG,
+    )
+}

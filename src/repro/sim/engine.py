@@ -1,0 +1,135 @@
+"""Coroutine-style discrete-event simulation engine.
+
+Simulated activities (platform components, replicas, load generators)
+are written as generator functions that ``yield`` either
+
+* a ``float`` — sleep that many simulated milliseconds, or
+* a :class:`~repro.sim.events.Signal` — park until the signal fires
+  (the fired payload is sent back into the generator).
+
+The engine interleaves processes deterministically: ties in virtual
+time resolve in scheduling order. Substrate code that models
+synchronous work (system calls, page copies) simply advances the shared
+clock; both styles compose because the engine never moves the clock
+backwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue, Signal
+
+SimGenerator = Generator[Any, Any, Any]
+
+
+class SimProcess:
+    """A running simulated activity wrapping a generator."""
+
+    def __init__(self, sim: "Simulation", gen: SimGenerator, name: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self.done_signal = Signal(f"{self.name}.done")
+
+    def _step(self, send_value: Any = None) -> None:
+        """Resume the generator and schedule its next wakeup."""
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_signal.fire(stop.value)
+            return
+        if isinstance(yielded, Signal):
+            yielded.wait(lambda payload: self._step(payload))
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
+            self._sim.schedule_in(float(yielded), lambda: self._step(None), label=self.name)
+        elif yielded is None:
+            # Yielding None is a cooperative re-schedule at the current time.
+            self._sim.schedule_in(0.0, lambda: self._step(None), label=self.name)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}; "
+                "yield a delay in ms, a Signal, or None"
+            )
+
+
+class Simulation:
+    """Owns the clock and event queue and drives processes to completion."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self.queue = EventQueue()
+        self._trace: List[str] = []
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.clock.now}")
+        return self.queue.push(time, callback, label=label)
+
+    def schedule_in(self, delay_ms: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay_ms`` simulated milliseconds."""
+        return self.schedule_at(self.clock.now + delay_ms, callback, label=label)
+
+    def spawn(self, gen: SimGenerator, name: str = "") -> SimProcess:
+        """Start a new simulated process; it takes its first step at t=now."""
+        process = SimProcess(self, gen, name=name)
+        self.schedule_in(0.0, lambda: process._step(None), label=f"spawn:{process.name}")
+        return process
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event. Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.set_time(event.time)
+        event.callback()
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (bounded to catch runaway loops)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"simulation exceeded {max_events} events; likely a livelock")
+
+    def run_until(self, t: float, max_events: int = 10_000_000) -> None:
+        """Run events with time <= ``t``; the clock ends at ``t``."""
+        for _ in range(max_events):
+            nxt = self.queue.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+        else:
+            raise RuntimeError(f"simulation exceeded {max_events} events; likely a livelock")
+        if t > self.clock.now:
+            self.clock.set_time(t)
+
+    def run_process(self, gen: SimGenerator, name: str = "") -> Any:
+        """Spawn ``gen``, run the simulation until it finishes, return its result."""
+        process = self.spawn(gen, name=name)
+        while not process.finished:
+            if not self.step():
+                raise RuntimeError(
+                    f"simulation drained before process {process.name!r} finished; "
+                    "it is waiting on a signal nobody fires"
+                )
+        return process.result
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.clock.now

@@ -1,0 +1,89 @@
+"""Event queue primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker so same-time events fire in scheduling order
+    (FIFO), which keeps the simulation deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        event = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``fire(payload)`` wakes every waiter exactly once. A signal may be
+    fired repeatedly; waiters registered after a firing wait for the
+    next one (edge-triggered semantics, like a condition variable).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback`` to run on the next :meth:`fire`."""
+        self._waiters.append(callback)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters; return how many were woken."""
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(payload)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"

@@ -1,0 +1,45 @@
+"""Tests for the prebake-bench command-line interface."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiment == "all"
+        assert args.repetitions == 200
+        assert args.seed == 42
+
+    def test_explicit_experiment(self):
+        args = build_parser().parse_args(["fig3", "-r", "10", "-s", "7"])
+        assert args.experiment == "fig3"
+        assert args.repetitions == 10
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig5", "-r", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "synthetic-big" in out
+
+    def test_run_sec5(self, capsys):
+        assert main(["sec5"]) == 0
+        assert "OpenFaaS" in capsys.readouterr().out
+
+    def test_all_known_experiments_have_runners(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name

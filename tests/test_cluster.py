@@ -1,0 +1,141 @@
+"""Tests for the concurrent cluster simulation."""
+
+import pytest
+
+from repro.core.policy import AfterWarmup
+from repro.faas.cluster import (
+    LatencySampler,
+    SimulatedCluster,
+    run_burst_experiment,
+)
+from repro.sim.engine import Simulation
+
+
+class FixedSampler:
+    """Deterministic sampler for unit tests."""
+
+    def __init__(self, startup=100.0, service=10.0):
+        self._startup = startup
+        self._service = service
+        self.median_startup_ms = startup
+
+    def startup_ms(self):
+        return self._startup
+
+    def service_ms(self):
+        return self._service
+
+
+def make_cluster(max_replicas=4, idle_timeout=1000.0,
+                 startup=100.0, service=10.0):
+    sim = Simulation()
+    cluster = SimulatedCluster(sim, FixedSampler(startup, service),
+                               max_replicas=max_replicas,
+                               idle_timeout_ms=idle_timeout)
+    return sim, cluster
+
+
+class TestSimulatedCluster:
+    def test_single_request_cold_start(self):
+        sim, cluster = make_cluster()
+        cluster.submit_trace([0.0])
+        metrics = cluster.run()
+        record = metrics.records[0]
+        assert record.cold_start
+        assert record.wait_ms == pytest.approx(100.0)
+        assert record.total_ms == pytest.approx(110.0)
+
+    def test_second_request_reuses_idle_replica(self):
+        sim, cluster = make_cluster()
+        cluster.submit_trace([0.0, 200.0])
+        metrics = cluster.run()
+        warm = metrics.records[1]
+        assert not warm.cold_start
+        assert warm.wait_ms == 0.0
+        assert metrics.cold_starts == 1
+
+    def test_concurrent_burst_overlapping_cold_starts(self):
+        """Cold starts overlap in time — a burst of 3 with capacity 4
+        finishes only one startup-duration after t=0."""
+        sim, cluster = make_cluster(max_replicas=4)
+        cluster.submit_trace([0.0, 0.0, 0.0])
+        metrics = cluster.run()
+        assert metrics.cold_starts == 3
+        assert metrics.peak_replicas == 3
+        assert metrics.makespan_ms == pytest.approx(110.0)
+
+    def test_queueing_at_replica_cap(self):
+        sim, cluster = make_cluster(max_replicas=1)
+        cluster.submit_trace([0.0, 0.0, 0.0])
+        metrics = cluster.run()
+        assert metrics.cold_starts == 1
+        queued = [r for r in metrics.records if r.queued_for_replica]
+        assert len(queued) == 2
+        # Serial service behind one replica: 100+10, +10, +10.
+        assert metrics.makespan_ms == pytest.approx(130.0)
+
+    def test_fifo_queue_order(self):
+        sim, cluster = make_cluster(max_replicas=1, service=10.0)
+        cluster.submit_trace([0.0, 1.0, 2.0])
+        metrics = cluster.run()
+        dispatch_order = sorted(metrics.records, key=lambda r: r.dispatched_ms)
+        arrival_order = sorted(metrics.records, key=lambda r: r.arrival_ms)
+        assert [r.request_id for r in dispatch_order] == \
+            [r.request_id for r in arrival_order]
+
+    def test_idle_gc_reclaims_and_forces_new_cold_start(self):
+        sim, cluster = make_cluster(idle_timeout=500.0)
+        cluster.submit_trace([0.0, 2000.0])
+        metrics = cluster.run()
+        # Both replicas are eventually collected (the second once the
+        # trace ends), and the long gap forces a second cold start.
+        assert metrics.gc_kills == 2
+        assert metrics.cold_starts == 2
+
+    def test_reuse_within_timeout_prevents_gc(self):
+        sim, cluster = make_cluster(idle_timeout=500.0)
+        cluster.submit_trace([0.0, 300.0, 600.0])
+        metrics = cluster.run()
+        assert metrics.cold_starts == 1
+        # GC timers from early releases must not kill a reused replica.
+        assert all(not r.cold_start for r in metrics.records[1:])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(Simulation(), FixedSampler(), max_replicas=0)
+
+    def test_wait_quantile_and_empty_metrics(self):
+        sim, cluster = make_cluster()
+        assert cluster.metrics.wait_quantile(0.99) == 0.0
+        assert cluster.metrics.makespan_ms == 0.0
+
+
+class TestLatencySampler:
+    def test_samples_come_from_measured_pools(self):
+        sampler = LatencySampler("noop", "vanilla", seed=5, pool_size=10)
+        draws = {sampler.startup_ms() for _ in range(30)}
+        assert draws <= set(sampler._startups)
+        assert 95.0 < sampler.median_startup_ms < 112.0
+
+    def test_prebake_sampler_reflects_technique(self):
+        vanilla = LatencySampler("noop", "vanilla", seed=5, pool_size=8)
+        prebake = LatencySampler("noop", "prebake", seed=5, pool_size=8)
+        assert prebake.median_startup_ms < 0.7 * vanilla.median_startup_ms
+
+
+class TestBurstExperiment:
+    def test_prebake_cuts_burst_makespan(self):
+        vanilla = run_burst_experiment("markdown", "vanilla", burst_size=8,
+                                       max_replicas=8, seed=6)
+        prebake = run_burst_experiment("markdown", "prebake",
+                                       policy=AfterWarmup(1),
+                                       burst_size=8, max_replicas=8, seed=6)
+        assert vanilla.cold_starts == prebake.cold_starts == 8
+        assert prebake.makespan_ms < 0.7 * vanilla.makespan_ms
+
+    def test_burst_beyond_cap_queues(self):
+        metrics = run_burst_experiment("noop", "vanilla", burst_size=10,
+                                       max_replicas=4, seed=7)
+        assert metrics.cold_starts == 4
+        assert metrics.peak_replicas == 4
+        assert sum(1 for r in metrics.records if r.queued_for_replica) == 6

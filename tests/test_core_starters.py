@@ -1,0 +1,117 @@
+"""Tests for the vanilla and prebake replica starters."""
+
+import pytest
+
+from repro.core.bake import Prebaker
+from repro.core.policy import AfterReady, AfterRuntimeBoot, AfterWarmup
+from repro.core.starters import PrebakeStarter, StartError, VanillaStarter
+from repro.core.store import SnapshotNotFound
+from repro.functions import make_app, small_function
+from repro.runtime.base import Request
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+
+
+class TestVanillaStarter:
+    def test_start_produces_ready_replica(self, kernel):
+        handle = VanillaStarter(kernel).start(make_app("noop"))
+        assert handle.technique == "vanilla"
+        assert handle.runtime.ready
+        assert handle.process.comm == "java"
+
+    def test_startup_near_paper_value(self, quiet_kernel):
+        handle = VanillaStarter(quiet_kernel).start(make_app("noop"))
+        # paper: ~103ms for NOOP under fork-exec
+        assert handle.startup_ms("ready") == pytest.approx(103.3, abs=1.0)
+
+    def test_invoke_works(self, kernel):
+        handle = VanillaStarter(kernel).start(make_app("markdown"))
+        response = handle.invoke(Request(body="# Title"))
+        assert response.ok
+        assert "<h1>Title</h1>" in response.body
+
+    def test_first_response_metric_requires_invoke(self, kernel):
+        handle = VanillaStarter(kernel).start(make_app("noop"))
+        with pytest.raises(StartError):
+            handle.startup_ms("first_response")
+        handle.invoke()
+        assert handle.startup_ms("first_response") > handle.startup_ms("ready")
+
+    def test_unknown_metric_rejected(self, kernel):
+        handle = VanillaStarter(kernel).start(make_app("noop"))
+        with pytest.raises(ValueError):
+            handle.startup_ms("bogus")
+
+    def test_kill_terminates_process(self, kernel):
+        handle = VanillaStarter(kernel).start(make_app("noop"))
+        handle.kill()
+        assert not handle.process.alive
+
+
+class TestPrebakeStarter:
+    def _baked(self, kernel, app, policy=AfterReady()):
+        prebaker = Prebaker(kernel)
+        prebaker.bake(app, policy=policy)
+        return PrebakeStarter(kernel, prebaker.store, policy=policy)
+
+    def test_start_without_snapshot_fails(self, kernel):
+        starter = PrebakeStarter(kernel, Prebaker(kernel).store)
+        with pytest.raises(SnapshotNotFound):
+            starter.start(make_app("noop"))
+
+    def test_start_restores_ready_replica(self, kernel):
+        app = make_app("noop")
+        starter = self._baked(kernel, app)
+        handle = starter.start(app)
+        assert handle.technique == "prebake"
+        assert handle.runtime.ready
+
+    def test_prebake_faster_than_vanilla(self, kernel):
+        app = make_app("image-resizer")
+        starter = self._baked(kernel, app)
+        prebake_ms = starter.start(app).startup_ms("ready")
+        vanilla_ms = VanillaStarter(kernel).start(make_app("image-resizer")).startup_ms("ready")
+        assert prebake_ms < 0.4 * vanilla_ms
+
+    def test_noop_restore_matches_calibration(self, quiet_kernel):
+        app = make_app("noop")
+        starter = self._baked(quiet_kernel, app)
+        handle = starter.start(app)
+        expected = (DEFAULT_COST_MODEL.clone_ms + DEFAULT_COST_MODEL.exec_ms
+                    + app.profile.restore_ready_ms)
+        assert handle.startup_ms("ready") == pytest.approx(expected, rel=0.01)
+
+    def test_restored_replica_serves_correctly(self, kernel):
+        app = make_app("markdown")
+        starter = self._baked(kernel, app)
+        handle = starter.start(app)
+        response = handle.invoke(Request(body="*em*"))
+        assert "<em>em</em>" in response.body
+
+    def test_multiple_replicas_from_one_bake(self, kernel):
+        app = make_app("noop")
+        starter = self._baked(kernel, app)
+        handles = [starter.start(app) for _ in range(4)]
+        assert len({h.process.pid for h in handles}) == 4
+        assert all(h.runtime.ready for h in handles)
+
+    def test_boot_only_snapshot_finishes_appinit_on_start(self, kernel):
+        app = make_app("markdown")
+        starter = self._baked(kernel, app, policy=AfterRuntimeBoot())
+        handle = starter.start(app)
+        assert handle.runtime.ready
+        # It paid APPINIT after restore, so it is slower than a
+        # ready-state restore but still skips the RTS.
+        ready_starter = self._baked(kernel, make_app("markdown"))
+        ready_ms = ready_starter.start(make_app("markdown")).startup_ms("ready")
+        assert handle.startup_ms("ready") > ready_ms
+
+    def test_warm_start_loads_no_classes(self, kernel):
+        app = small_function()
+        starter = self._baked(kernel, app, policy=AfterWarmup(1))
+        handle = starter.start(app)
+        t0 = kernel.clock.now
+        handle.invoke()
+        first_request_ms = kernel.clock.now - t0
+        # No class loading on the first request (already in snapshot).
+        assert first_request_ms < 5.0
+        assert handle.runtime.loaded_classes == len(app.classes)

