@@ -1,9 +1,15 @@
 """``prebake-bench``: run the paper's experiments from the shell.
 
+Rendered tables go to stdout (pipe them into files/reports); run
+diagnostics — timings, trace-file writes, errors — go to stderr as
+structured ``key=value`` lines via :mod:`repro.obs.log`.
+
 Examples::
 
     prebake-bench --list
     prebake-bench fig3 --repetitions 200
+    prebake-bench fig4 -r 20 --trace-out fig4-trace.jsonl
+    prebake-bench trace --trace-out episode.jsonl
     prebake-bench all --repetitions 100 --seed 7
 """
 
@@ -15,6 +21,9 @@ import time
 from typing import Callable, Dict, List
 
 from repro.bench import figures
+from repro.obs.log import get_logger
+
+log = get_logger("bench")
 
 
 def _run_fig3(args) -> str:
@@ -22,7 +31,8 @@ def _run_fig3(args) -> str:
 
 
 def _run_fig4(args) -> str:
-    return figures.figure4(repetitions=args.repetitions, seed=args.seed).render()
+    return figures.figure4(repetitions=args.repetitions, seed=args.seed,
+                           trace_path=args.trace_out).render()
 
 
 def _run_fig5(args) -> str:
@@ -78,6 +88,29 @@ def _run_ext_pool(args) -> str:
                                  "30 s idle timeout")
 
 
+def _run_trace(args) -> str:
+    """Record full lifecycle traces for a few episodes and summarize.
+
+    With ``--trace-out`` the raw JSONL trace is also written (inspect
+    it with ``python -m repro.obs.cli <file>``).
+    """
+    from repro.bench.harness import run_startup_experiment
+    from repro.obs.cli import summarize
+    from repro.obs.export import write_trace_jsonl
+
+    repetitions = max(1, min(args.repetitions, 5))
+    sink: List[Dict[str, object]] = []
+    for technique in ("vanilla", "prebake"):
+        run_startup_experiment("markdown", technique,
+                               repetitions=repetitions, seed=args.seed,
+                               trace_phases=True, trace_sink=sink)
+    if args.trace_out:
+        write_trace_jsonl(args.trace_out, sink)
+        log.info("trace.written", file=args.trace_out, spans=len(sink))
+    return (f"Lifecycle trace — markdown, vanilla+prebake, "
+            f"{repetitions} rep(s) each\n" + summarize(sink))
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -91,6 +124,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-bake-timing": _run_ablation_bake_timing,
     "ext-runtimes": _run_ext_runtimes,
     "ext-pool": _run_ext_pool,
+    "trace": _run_trace,
 }
 
 
@@ -105,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="repetitions per treatment (paper: 200)")
     parser.add_argument("--seed", "-s", type=int, default=42,
                         help="master RNG seed")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a JSONL lifecycle trace (fig4 and "
+                             "trace experiments)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     return parser
@@ -121,13 +158,17 @@ def main(argv: List[str] | None = None) -> int:
     elif args.experiment in EXPERIMENTS:
         names = [args.experiment]
     else:
-        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        log.error("cli.bad_experiment",
+                  message=f"unknown experiment {args.experiment!r}; use --list")
         return 2
     for name in names:
+        log.info("experiment.start", name=name,
+                 repetitions=args.repetitions, seed=args.seed)
         started = time.time()
         output = EXPERIMENTS[name](args)
         elapsed = time.time() - started
-        print(f"== {name} ({elapsed:.1f}s wall) " + "=" * 30)
+        log.info("experiment.done", name=name, wall_s=round(elapsed, 2))
+        print(f"== {name} " + "=" * 38)
         print(output)
         print()
     return 0

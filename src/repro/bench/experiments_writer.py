@@ -15,6 +15,10 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.log import get_logger
+
+log = get_logger("bench.report")
+
 # Section ordering + titles for known experiment ids; unknown result
 # files are appended alphabetically under their file name.
 KNOWN_SECTIONS = [
@@ -95,20 +99,23 @@ def write_report(results_dir: pathlib.Path,
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not 1 <= len(argv) <= 2:
-        print("usage: python -m repro.bench.experiments_writer "
-              "<results-dir> [output.md]", file=sys.stderr)
+        log.error("cli.usage",
+                  message="usage: python -m repro.bench.experiments_writer "
+                          "<results-dir> [output.md]")
         return 2
     results_dir = pathlib.Path(argv[0])
     output = pathlib.Path(argv[1]) if len(argv) == 2 else None
     try:
         report = write_report(results_dir, output)
     except FileNotFoundError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error("report.failed", reason=str(exc))
         return 1
     if output is None:
+        # stdout carries the result itself, so it stays a bare print.
         print(report)
     else:
-        print(f"wrote {output}")
+        log.info("report.written", file=str(output),
+                 sections=report.count("\n## "))
     return 0
 
 

@@ -165,20 +165,32 @@ class Fig4Result:
         )
 
 
-def figure4(repetitions: int = 200, seed: int = 42) -> Fig4Result:
-    """Reproduce Figure 4: CLONE/EXEC/RTS/APPINIT per function/technique."""
+def figure4(repetitions: int = 200, seed: int = 42,
+            trace_path: Optional[str] = None) -> Fig4Result:
+    """Reproduce Figure 4: CLONE/EXEC/RTS/APPINIT per function/technique.
+
+    ``trace_path`` additionally records every repetition's lifecycle
+    spans and writes them as one JSONL trace file (summarize it with
+    ``python -m repro.obs.cli``).
+    """
+    from repro.obs.export import write_trace_jsonl
     result = Fig4Result()
+    trace_sink: Optional[List[Dict[str, object]]] = \
+        [] if trace_path is not None else None
     for name in REAL_FUNCTIONS:
         for technique in ("vanilla", "prebake"):
             summary = run_startup_experiment(
                 name, technique, policy=AfterReady(),
                 repetitions=repetitions, seed=seed, trace_phases=True,
+                trace_sink=trace_sink,
             )
             result.cells.append(Fig4Cell(
                 function=name,
                 technique=technique,
                 phases=summary.phase_medians().as_dict(),
             ))
+    if trace_path is not None:
+        write_trace_jsonl(trace_path, trace_sink)
     return result
 
 

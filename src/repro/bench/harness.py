@@ -10,9 +10,9 @@ everything down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro import make_world
+from repro import make_world, obs
 from repro.bench.stats import ConfidenceInterval, bootstrap_median_ci, median
 from repro.bench.tracer import PhaseBreakdown, PhaseTracer
 from repro.bench.workload import LoadGenerator
@@ -86,12 +86,20 @@ def run_startup_experiment(
     costs: CostModel = DEFAULT_COST_MODEL,
     restore_mode: RestoreMode = RestoreMode.EAGER,
     in_memory: bool = False,
+    trace_sink: Optional[List[Dict[str, object]]] = None,
 ) -> StartupSummary:
     """Measure start-up time over ``repetitions`` fresh worlds.
 
     ``function`` is a registered name or an app factory. ``metric``
     defaults to the function profile's own start-up metric ("ready"
     for the paper's real functions, "first_response" for synthetic).
+
+    ``trace_sink``, when given, turns on lifecycle telemetry: every
+    repetition runs under a ``bench.repetition`` root span (deploy →
+    bake → checkpoint → restore → first-request serve all nest under
+    it), and the repetition's span dicts — stamped with ``rep``,
+    ``function`` and ``technique`` — are appended to the list, ready
+    for :func:`repro.obs.export.write_trace_jsonl`.
     """
     factory = _resolve_factory(function)
     probe = factory()
@@ -103,33 +111,52 @@ def run_startup_experiment(
         metric=resolved_metric,
     )
     for rep in range(repetitions):
-        world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs)
+        world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs,
+                           observe=trace_sink is not None)
         kernel = world.kernel
         manager = PrebakeManager(kernel)
         app = factory()
-        snapshot_mib = 0.0
-        if technique == "prebake":
-            report = manager.deploy(app, policy=policy)
-            snapshot_mib = report.snapshot_mib
-        tracer = PhaseTracer(kernel) if trace_phases else None
-        starter = manager.starter(
-            technique, policy=policy, restore_mode=restore_mode,
-            in_memory=in_memory,
-            version=manager.current_version(app.name) if technique == "prebake" else 1,
-        )
-        if tracer:
-            tracer.start_episode()
-        handle = starter.start(app)
-        if resolved_metric == "first_response":
-            handle.invoke()
-        if tracer:
-            tracer.stop_episode()
+        with obs.span(kernel, "bench.repetition", rep=rep,
+                      function=app.name, technique=technique,
+                      policy=policy.key):
+            snapshot_mib = 0.0
+            if technique == "prebake":
+                report = manager.deploy(app, policy=policy)
+                snapshot_mib = report.snapshot_mib
+            tracer = PhaseTracer(kernel) if trace_phases else None
+            starter = manager.starter(
+                technique, policy=policy, restore_mode=restore_mode,
+                in_memory=in_memory,
+                version=(manager.current_version(app.name)
+                         if technique == "prebake" else 1),
+            )
+            if tracer:
+                tracer.start_episode()
+            handle = starter.start(app)
+            if resolved_metric == "first_response":
+                handle.invoke()
+            if tracer:
+                tracer.stop_episode()
+            if trace_sink is not None and resolved_metric != "first_response":
+                # The measured episode is over (startup_ms derives from
+                # the recorded spawn/ready stamps); drive one request so
+                # the trace also covers first-request serve.
+                handle.invoke()
         summary.samples.append(StartupSample(
             repetition=rep,
             startup_ms=handle.startup_ms(resolved_metric),
             snapshot_mib=snapshot_mib,
             phases=tracer.breakdown() if tracer else None,
         ))
+        if trace_sink is not None:
+            for span in kernel.obs.tracer.spans:
+                record = span.as_dict()
+                # Span/trace ids restart in every fresh world; qualify
+                # the trace id so merged multi-repetition files keep
+                # each repetition's tree intact.
+                record["trace"] = f"{technique}/{app.name}/rep{rep}/{record['trace']}"
+                record.update(rep=rep, function=app.name, technique=technique)
+                trace_sink.append(record)
     return summary
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.core.policy import AfterReady, AfterRuntimeBoot, AfterWarmup, SnapshotPolicy
 from repro.core.starters import RUNTIME_BINARIES, launch_vanilla
 from repro.core.store import SnapshotKey, SnapshotStore
@@ -68,35 +69,49 @@ class Prebaker:
         started = kernel.clock.now
         warmup_requests = 0
 
-        if isinstance(policy, AfterRuntimeBoot):
-            donor = self._boot_only(app, parent)
-        else:
-            handle = launch_vanilla(kernel, app, parent=parent)
-            donor = handle.process
-            if isinstance(policy, AfterWarmup):
-                for _ in range(policy.requests):
-                    response = handle.invoke(Request(body=policy.warmup_body))
-                    if not response.ok:
-                        raise BakeError(
-                            f"warm-up request failed with status {response.status} "
-                            f"for function {app.name!r}"
-                        )
-                    warmup_requests += 1
+        with obs.span(kernel, "bake", function=app.name, policy=policy.key,
+                      version=version, runtime=app.runtime_kind):
+            with obs.span(kernel, "bake.donor", function=app.name):
+                if isinstance(policy, AfterRuntimeBoot):
+                    donor = self._boot_only(app, parent)
+                else:
+                    handle = launch_vanilla(kernel, app, parent=parent)
+                    donor = handle.process
+                    if isinstance(policy, AfterWarmup):
+                        for _ in range(policy.requests):
+                            response = handle.invoke(
+                                Request(body=policy.warmup_body))
+                            if not response.ok:
+                                raise BakeError(
+                                    f"warm-up request failed with status "
+                                    f"{response.status} for function {app.name!r}"
+                                )
+                            warmup_requests += 1
 
-        image = self.checkpoint_engine.dump(
-            donor, leave_running=False, warm=policy.warm
-        )
-        key = SnapshotKey(
-            function=app.name,
-            runtime_kind=app.runtime_kind,
-            policy=policy.key,
-            version=version,
-        )
-        self.store.put(key, image, now_ms=kernel.clock.now)
+            image = self.checkpoint_engine.dump(
+                donor, leave_running=False, warm=policy.warm
+            )
+            key = SnapshotKey(
+                function=app.name,
+                runtime_kind=app.runtime_kind,
+                policy=policy.key,
+                version=version,
+            )
+            with obs.span(kernel, "snapshot.store", function=app.name,
+                          image=image.image_id):
+                self.store.put(key, image, now_ms=kernel.clock.now)
+
+        duration = kernel.clock.now - started
+        obs.count(kernel, "prebake_bake_total",
+                  labels={"function": app.name, "policy": policy.key})
+        obs.observe(kernel, "prebake_bake_duration_ms", duration,
+                    labels={"function": app.name})
+        obs.gauge(kernel, "prebake_snapshot_mib", image.total_mib,
+                  labels={"function": app.name, "policy": policy.key})
         return BakeReport(
             key=key,
             image=image,
-            bake_duration_ms=kernel.clock.now - started,
+            bake_duration_ms=duration,
             warmup_requests=warmup_requests,
         )
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import obs
 from repro.core.bake import BakeReport, Prebaker
 from repro.core.policy import AfterReady, SnapshotPolicy
 from repro.core.starters import (
@@ -42,7 +43,12 @@ class PrebakeManager:
         """Register a new function version and bake its snapshot."""
         version = self._versions.get(app.name, 0) + 1
         self._versions[app.name] = version
-        return self.prebaker.bake(app, policy=policy, version=version)
+        with obs.span(self.kernel, "deploy", function=app.name,
+                      version=version, policy=policy.key):
+            report = self.prebaker.bake(app, policy=policy, version=version)
+        obs.count(self.kernel, "prebake_deploy_total",
+                  labels={"function": app.name})
+        return report
 
     def sync_version(self, function: str, version: int) -> None:
         """Record that ``version`` of ``function`` was baked externally

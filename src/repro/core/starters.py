@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.policy import AfterReady, SnapshotPolicy
 from repro.core.store import SnapshotKey, SnapshotStore
 from repro.criu.restore import RestoreEngine, RestoreMode
@@ -44,11 +45,17 @@ class ReplicaHandle:
 
     def invoke(self, request: Optional[Request] = None) -> Response:
         """Send one request to the replica."""
+        kernel = self.runtime.kernel
         request = request or Request()
-        request.arrival_ms = self.runtime.kernel.clock.now
-        response = self.runtime.handle(request)
-        if self.first_response_at_ms is None:
+        request.arrival_ms = kernel.clock.now
+        first = self.first_response_at_ms is None
+        with obs.span(kernel, "replica.serve", technique=self.technique,
+                      request_id=request.request_id, first_request=first):
+            response = self.runtime.handle(request)
+        if first:
             self.first_response_at_ms = response.finished_ms
+        obs.observe(kernel, "replica_service_ms", response.service_ms,
+                    labels={"technique": self.technique})
         return response
 
     def startup_ms(self, metric: str = "ready") -> float:
@@ -92,17 +99,26 @@ def launch_vanilla(kernel: Kernel, app: FunctionApp,
     kernel.fs.ensure(binary, size=128 * 1024)
     parent = parent or kernel.init_process
     spawned_at = kernel.clock.now
-    proc = kernel.clone(parent, comm=app.runtime_kind)
-    kernel.execve(proc, binary, argv=[binary, "-jar", app.artifact_path()])
-    runtime = runtime_cls(kernel, proc)
-    runtime.boot()
-    runtime.load_application(app)
+    with obs.span(kernel, "replica.start", technique="vanilla",
+                  function=app.name, runtime=app.runtime_kind):
+        proc = kernel.clone(parent, comm=app.runtime_kind)
+        kernel.execve(proc, binary, argv=[binary, "-jar", app.artifact_path()])
+        runtime = runtime_cls(kernel, proc)
+        with obs.span(kernel, "runtime.boot", runtime=app.runtime_kind):
+            runtime.boot()
+        with obs.span(kernel, "runtime.appinit", function=app.name):
+            runtime.load_application(app)
+    ready_at = kernel.clock.now
+    obs.count(kernel, "replica_start_total",
+              labels={"technique": "vanilla", "function": app.name})
+    obs.observe(kernel, "replica_start_duration_ms", ready_at - spawned_at,
+                labels={"technique": "vanilla", "function": app.name})
     return ReplicaHandle(
         process=proc,
         runtime=runtime,
         technique="vanilla",
         spawned_at_ms=spawned_at,
-        ready_at_ms=kernel.clock.now,
+        ready_at_ms=ready_at,
     )
 
 
@@ -150,24 +166,34 @@ class PrebakeStarter(Starter):
         image = self.store.get(self.snapshot_key(app))
         spawned_at = kernel.clock.now
         override = app.profile.restore_override_ms(image.warm)
-        proc = self.restore_engine.restore(
-            image,
-            parent=parent,
-            mode=self.restore_mode,
-            in_memory=self.in_memory,
-            duration_override_ms=override,
-        )
-        runtime = proc.payload.get("runtime")
-        if runtime is None:
-            raise StartError(f"snapshot {image.image_id} did not contain a runtime")
-        if not runtime.ready:
-            # Earlier-point snapshots (e.g. AfterRuntimeBoot) resume a
-            # booted-but-unloaded runtime; APPINIT still runs here.
-            runtime.load_application(app)
+        with obs.span(kernel, "replica.start", technique="prebake",
+                      function=app.name, runtime=app.runtime_kind,
+                      policy=self.policy.key):
+            proc = self.restore_engine.restore(
+                image,
+                parent=parent,
+                mode=self.restore_mode,
+                in_memory=self.in_memory,
+                duration_override_ms=override,
+            )
+            runtime = proc.payload.get("runtime")
+            if runtime is None:
+                raise StartError(
+                    f"snapshot {image.image_id} did not contain a runtime")
+            if not runtime.ready:
+                # Earlier-point snapshots (e.g. AfterRuntimeBoot) resume a
+                # booted-but-unloaded runtime; APPINIT still runs here.
+                with obs.span(kernel, "runtime.appinit", function=app.name):
+                    runtime.load_application(app)
+        ready_at = kernel.clock.now
+        obs.count(kernel, "replica_start_total",
+                  labels={"technique": "prebake", "function": app.name})
+        obs.observe(kernel, "replica_start_duration_ms", ready_at - spawned_at,
+                    labels={"technique": "prebake", "function": app.name})
         return ReplicaHandle(
             process=proc,
             runtime=runtime,
             technique="prebake",
             spawned_at_ms=spawned_at,
-            ready_at_ms=kernel.clock.now,
+            ready_at_ms=ready_at,
         )

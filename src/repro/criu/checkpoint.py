@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro import obs
 from repro.criu.images import (
     CheckpointImage,
     FdDescriptor,
@@ -69,23 +70,31 @@ class CheckpointEngine:
                 f"target pid {target.pid} must be running, is {target.state.value}"
             )
 
-        # 1. Freeze every thread in the group.
-        kernel.freeze(target)
-        try:
-            # 2. Attach and inject the parasite blob.
-            kernel.ptrace_seize(self.criu_process, target)
-            kernel.ptrace_inject_parasite(self.criu_process, target)
+        with obs.span(kernel, "criu.checkpoint", pid=target.pid,
+                      comm=target.comm, warm=warm,
+                      incremental=parent_image is not None) as dump_span:
+            # 1. Freeze every thread in the group.
+            kernel.freeze(target)
             try:
-                image = self._collect(target, warm=warm, parent_image=parent_image)
+                # 2. Attach and inject the parasite blob.
+                kernel.ptrace_seize(self.criu_process, target)
+                kernel.ptrace_inject_parasite(self.criu_process, target)
+                try:
+                    image = self._collect(target, warm=warm,
+                                          parent_image=parent_image)
+                finally:
+                    # 5. Cure: remove the parasite, detach.
+                    kernel.ptrace_remove_parasite(self.criu_process, target)
+                    kernel.ptrace_detach(self.criu_process, target)
             finally:
-                # 5. Cure: remove the parasite, detach.
-                kernel.ptrace_remove_parasite(self.criu_process, target)
-                kernel.ptrace_detach(self.criu_process, target)
-        finally:
-            if target.state is ProcessState.FROZEN:
-                kernel.thaw(target)
-        if not leave_running:
-            kernel.kill(target.pid)
+                if target.state is ProcessState.FROZEN:
+                    kernel.thaw(target)
+            if not leave_running:
+                kernel.kill(target.pid)
+            dump_span.set(image=image.image_id,
+                          image_mib=round(image.total_mib, 3))
+        obs.count(kernel, "criu_dump_total")
+        obs.observe(kernel, "criu_dump_image_mib", image.total_mib)
         return image
 
     def pre_dump(self, target: Process) -> CheckpointImage:

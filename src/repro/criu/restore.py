@@ -17,6 +17,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
+from repro import obs
 from repro.criu.images import CheckpointImage
 from repro.osproc.kernel import Kernel
 from repro.osproc.memory import VMAKind
@@ -83,29 +84,39 @@ class RestoreEngine:
         kernel.execve(proc, CRIU_BINARY, argv=["criu", "restore", "--shell-job"])
         proc.state = ProcessState.RESTORING
 
-        try:
-            self._transmute(proc, image)
-        except Exception:
-            kernel.kill(proc.pid)
-            raise
+        # The span opens right after execve so its duration matches the
+        # tracer-observed RTS+APPINIT window of a restored start.
+        with obs.span(kernel, "criu.restore", image=image.image_id,
+                      image_mib=round(image.total_mib, 3), mode=mode.value,
+                      in_memory=in_memory, warm=image.warm):
+            try:
+                self._transmute(proc, image)
+            except Exception:
+                kernel.kill(proc.pid)
+                raise
 
-        # Charge the restore work (page reads + remapping).
-        duration = self._restore_duration(image, mode, in_memory, duration_override_ms)
-        kernel.clock.advance(
-            kernel.costs.jitter(duration, kernel.streams, "criu.restore")
-        )
-        if mode is RestoreMode.LAZY:
-            full = kernel.costs.restore_cost(image.total_mib, duration_override_ms)
-            proc.payload["lazy_restore_debt_ms"] = max(0.0, full - duration)
+            # Charge the restore work (page reads + remapping).
+            duration = self._restore_duration(image, mode, in_memory,
+                                              duration_override_ms)
+            charged = kernel.costs.jitter(duration, kernel.streams,
+                                          "criu.restore")
+            kernel.clock.advance(charged)
+            if mode is RestoreMode.LAZY:
+                full = kernel.costs.restore_cost(image.total_mib,
+                                                 duration_override_ms)
+                proc.payload["lazy_restore_debt_ms"] = max(0.0, full - duration)
 
-        proc.state = ProcessState.RUNNING
-        kernel.probes.syscall_enter(
-            "criu.restore", proc.pid, kernel.clock.now,
-            detail=f"{image.total_mib:.1f}MiB image={image.image_id}",
-        )
-        runtime = proc.payload.get("runtime")
-        if runtime is not None:
-            runtime.mark_restored()
+            proc.state = ProcessState.RUNNING
+            kernel.probes.syscall_enter(
+                "criu.restore", proc.pid, kernel.clock.now,
+                detail=f"{image.total_mib:.1f}MiB image={image.image_id}",
+            )
+            runtime = proc.payload.get("runtime")
+            if runtime is not None:
+                runtime.mark_restored()
+        obs.count(kernel, "criu_restore_total", labels={"mode": mode.value})
+        obs.observe(kernel, "criu_restore_duration_ms", charged,
+                    labels={"mode": mode.value})
         return proc
 
     # -- internals ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro import obs
 from repro.faas.deployer import FunctionDeployer
 from repro.faas.registry import FunctionRegistry
 from repro.faas.replica import ReplicaState
@@ -70,10 +71,15 @@ class Autoscaler:
                 break
             if replica.state is ReplicaState.IDLE and replica.idle_for_ms(now) >= timeout:
                 replica.terminate()
+                remaining = len(self.deployer.replicas(function))
                 self.events.append(ScaleEvent(
                     at_ms=now, function=function, action="gc",
-                    replicas_after=len(self.deployer.replicas(function)),
+                    replicas_after=remaining,
                 ))
+                obs.count(self.kernel, "autoscaler_actions_total",
+                          labels={"function": function, "action": "gc"})
+                obs.gauge(self.kernel, "autoscaler_replicas", remaining,
+                          labels={"function": function})
 
     def ensure_capacity(self, function: str, pending_requests: int) -> int:
         """Scale up so ``pending_requests`` can be served concurrently.
@@ -87,10 +93,16 @@ class Autoscaler:
         wanted = min(pending_requests, limit)
         added = 0
         while current + added < wanted:
-            self.deployer.provision(function)
+            with obs.span(self.kernel, "autoscaler.scale_up",
+                          function=function, pending=pending_requests):
+                self.deployer.provision(function)
             added += 1
             self.events.append(ScaleEvent(
                 at_ms=self.kernel.clock.now, function=function, action="scale-up",
                 replicas_after=current + added,
             ))
+            obs.count(self.kernel, "autoscaler_actions_total",
+                      labels={"function": function, "action": "scale-up"})
+            obs.gauge(self.kernel, "autoscaler_replicas", current + added,
+                      labels={"function": function})
         return added

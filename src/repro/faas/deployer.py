@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.manager import PrebakeManager
 from repro.faas.registry import FunctionMetadata, FunctionRegistry
 from repro.faas.replica import FunctionReplica, ReplicaState
@@ -48,36 +49,47 @@ class FunctionDeployer:
         # Reserve node memory for the container hosting the replica.
         memory_mib = max(64.0, app.profile.snapshot_warm_mib * 2)
         privileged = metadata.start_technique == "prebake"
-        allocation = self.resources.place(function, memory_mib, privileged=privileged)
+        with obs.span(self.kernel, "deployer.provision", function=function,
+                      technique=metadata.start_technique,
+                      memory_mib=memory_mib) as provision_span:
+            allocation = self.resources.place(function, memory_mib,
+                                              privileged=privileged)
 
-        # Container/VM provisioning cost — zero in the paper's §4
-        # experiments, configurable for the §5 integration demos.
-        provision_ms = self.kernel.costs.container_provision_ms
-        if provision_ms:
-            self.kernel.clock.advance(
-                self.kernel.costs.jitter(provision_ms, self.kernel.streams,
-                                         "deployer.provision")
+            # Container/VM provisioning cost — zero in the paper's §4
+            # experiments, configurable for the §5 integration demos.
+            provision_ms = self.kernel.costs.container_provision_ms
+            if provision_ms:
+                self.kernel.clock.advance(
+                    self.kernel.costs.jitter(provision_ms, self.kernel.streams,
+                                             "deployer.provision")
+                )
+            try:
+                starter = self.prebake_manager.starter(
+                    metadata.start_technique,
+                    policy=metadata.snapshot_policy,
+                    version=metadata.version,
+                )
+                handle = starter.start(app)
+            except Exception:
+                allocation.release()
+                raise
+            # Confine the replica to a memory cgroup sized like its
+            # container reservation (the OOM boundary in production).
+            cgroup = self.cgroups.create(
+                f"{function}/alloc-{allocation.allocation_id}",
+                limit_mib=memory_mib,
             )
-        try:
-            starter = self.prebake_manager.starter(
-                metadata.start_technique,
-                policy=metadata.snapshot_policy,
-                version=metadata.version,
-            )
-            handle = starter.start(app)
-        except Exception:
-            allocation.release()
-            raise
-        # Confine the replica to a memory cgroup sized like its
-        # container reservation (the OOM boundary in production).
-        cgroup = self.cgroups.create(
-            f"{function}/alloc-{allocation.allocation_id}",
-            limit_mib=memory_mib,
-        )
-        cgroup.attach(handle.process)
-        replica = FunctionReplica(function, handle, allocation=allocation,
-                                  cgroup=cgroup)
+            cgroup.attach(handle.process)
+            replica = FunctionReplica(function, handle, allocation=allocation,
+                                      cgroup=cgroup)
+            provision_span.set(replica_id=replica.replica_id)
         self._replicas.setdefault(function, []).append(replica)
+        obs.count(self.kernel, "deployer_provision_total",
+                  labels={"function": function,
+                          "technique": metadata.start_technique})
+        obs.gauge(self.kernel, "deployer_replicas",
+                  float(len(self._replicas[function])),
+                  labels={"function": function})
         return replica
 
     # -- bookkeeping -----------------------------------------------------------------

@@ -1,56 +1,31 @@
-"""Prometheus text exposition format for the metrics registry.
+"""Prometheus text exposition format for the gateway's metrics.
 
 Real OpenFaaS gateways expose ``/metrics`` for Prometheus to scrape;
-this renders :class:`~repro.faas.openfaas.prometheus.PrometheusLite`'s
-registry in the exposition format (v0.0.4 text), so the simulated
-platform's metrics are inspectable with standard tooling expectations:
+this renders the registry behind
+:class:`~repro.faas.openfaas.prometheus.PrometheusLite` in the
+exposition format (v0.0.4 text), so the simulated platform's metrics
+are inspectable with standard tooling expectations:
 
     gateway_function_invocation_total{function="markdown"} 42
+
+The actual rendering/parsing lives in :mod:`repro.obs.export` (the
+shared telemetry layer); these wrappers keep the historical OpenFaaS
+entry points.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.faas.openfaas.prometheus import PrometheusLite
-
-
-def _escape_label_value(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-
-
-def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
-    if not labels:
-        return ""
-    inner = ",".join(
-        f'{name}="{_escape_label_value(value)}"' for name, value in labels
-    )
-    return "{" + inner + "}"
-
-
-def _format_value(value: float) -> str:
-    if value == int(value):
-        return str(int(value))
-    return repr(value)
+from repro.obs.export import parse_prometheus, render_prometheus
 
 
 def render_exposition(prom: PrometheusLite) -> str:
-    """Render every series in the registry, counters then gauges.
-
-    Series are grouped per metric with a ``# TYPE`` line, sorted for
-    deterministic output.
-    """
-    sections: List[str] = []
-    for store, metric_type in ((prom._counters, "counter"),
-                               (prom._gauges, "gauge")):
-        by_metric: Dict[str, List[str]] = {}
-        for (name, labels), value in store.items():
-            line = f"{name}{_format_labels(labels)} {_format_value(value)}"
-            by_metric.setdefault(name, []).append(line)
-        for name in sorted(by_metric):
-            sections.append(f"# TYPE {name} {metric_type}")
-            sections.extend(sorted(by_metric[name]))
-    return "\n".join(sections) + ("\n" if sections else "")
+    """Render every series in the registry: counters, gauges, then
+    histogram summaries — grouped per metric with a ``# TYPE`` line,
+    sorted for deterministic output."""
+    return render_prometheus(prom.registry)
 
 
 def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
@@ -60,35 +35,4 @@ def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
     label names, one series per line). Used by tests and by experiment
     tooling that scrapes the simulated gateway.
     """
-    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
-    for raw in text.splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        series, _, value_text = line.rpartition(" ")
-        if not series:
-            raise ValueError(f"malformed exposition line {raw!r}")
-        if "{" in series:
-            name, _, label_blob = series.partition("{")
-            if not label_blob.endswith("}"):
-                raise ValueError(f"malformed label set in {raw!r}")
-            labels = []
-            blob = label_blob[:-1]
-            if blob:
-                for pair in blob.split(","):
-                    key, _, quoted = pair.partition("=")
-                    if not (quoted.startswith('"') and quoted.endswith('"')):
-                        raise ValueError(f"malformed label value in {raw!r}")
-                    labels.append((key, quoted[1:-1]
-                                   .replace('\\"', '"')
-                                   .replace("\\n", "\n")
-                                   .replace("\\\\", "\\")))
-            labelset = tuple(sorted(labels))
-        else:
-            name, labelset = series, ()
-        try:
-            value = float(value_text)
-        except ValueError:
-            raise ValueError(f"bad sample value in {raw!r}") from None
-        out.setdefault(name, {})[labelset] = value
-    return out
+    return parse_prometheus(text)

@@ -68,7 +68,12 @@ class Gateway:
         self.provider = provider
         self.image_repo = image_repo
         self.snapshot_store = snapshot_store
-        self.prometheus = prometheus or PrometheusLite()
+        if prometheus is None:
+            # Share the world's metrics registry when telemetry is
+            # installed, so gateway series and harness series merge.
+            registry = kernel.obs.metrics if kernel.obs is not None else None
+            prometheus = PrometheusLite(registry=registry)
+        self.prometheus = prometheus
         self._services: Dict[str, DeployedService] = {}
         self._latency: Dict[str, "LatencyDigest"] = {}
         self.prometheus.subscribe(self._on_alert)
@@ -140,6 +145,9 @@ class Gateway:
             replica = replicas[0]
         response = replica.watchdog.forward(request)
         self._record_latency(service, response.service_ms)
+        self.prometheus.observe("gateway_service_duration_ms",
+                                response.service_ms,
+                                labels={"function": service})
         return response
 
     def _record_latency(self, service: str, service_ms: float) -> None:

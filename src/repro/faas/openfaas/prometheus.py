@@ -1,9 +1,15 @@
-"""PrometheusLite: metrics + alerting for the OpenFaaS autoscaler.
+"""PrometheusLite: the alerting layer for the OpenFaaS autoscaler.
 
 "The platform auto-scaling functionality is shared between the Gateway
 API and the Prometheus tool, which continuously monitors metrics and
 fires alerts. All alerts fired by Prometheus are processed by Gateway
 API, which decides when to scale down/up" (§5.1).
+
+Metric storage lives in the shared :class:`repro.obs.metrics.MetricsRegistry`
+(one per world when telemetry is installed); this class adds the
+threshold rules and alert delivery on top. ``inc``/``set_gauge``/
+``observe``/``value`` delegate straight to the registry, so gateway
+metrics and experiment-harness metrics land in the same series.
 """
 
 from __future__ import annotations
@@ -11,11 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+
 LabelSet = Tuple[Tuple[str, str], ...]
-
-
-def _labels(labels: Optional[Dict[str, str]]) -> LabelSet:
-    return tuple(sorted((labels or {}).items()))
 
 
 @dataclass
@@ -46,40 +50,33 @@ class Alert:
 
 
 class PrometheusLite:
-    """Counters/gauges with threshold alert rules."""
+    """Alert rules over a (possibly shared) metrics registry."""
 
-    def __init__(self) -> None:
-        self._counters: Dict[Tuple[str, LabelSet], float] = {}
-        self._gauges: Dict[Tuple[str, LabelSet], float] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._rules: List[AlertRule] = []
         self._subscribers: List[Callable[[Alert], None]] = []
         self.fired: List[Alert] = []
 
-    # -- metrics ---------------------------------------------------------------
+    # -- metrics (delegates to the shared registry) ------------------------------
 
     def inc(self, metric: str, value: float = 1.0,
             labels: Optional[Dict[str, str]] = None) -> None:
         if value < 0:
             raise ValueError("counters only go up")
-        key = (metric, _labels(labels))
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        self.registry.inc(metric, value, labels)
 
     def set_gauge(self, metric: str, value: float,
                   labels: Optional[Dict[str, str]] = None) -> None:
-        self._gauges[(metric, _labels(labels))] = value
+        self.registry.set_gauge(metric, value, labels)
+
+    def observe(self, metric: str, value: float,
+                labels: Optional[Dict[str, str]] = None) -> None:
+        self.registry.observe(metric, value, labels)
 
     def value(self, metric: str, labels: Optional[Dict[str, str]] = None) -> float:
         """Sum of the metric across series matching the label subset."""
-        want = dict(labels or {})
-        total = 0.0
-        for store in (self._counters, self._gauges):
-            for (name, series_labels), v in store.items():
-                if name != metric:
-                    continue
-                series = dict(series_labels)
-                if all(series.get(k) == val for k, val in want.items()):
-                    total += v
-        return total
+        return self.registry.value(metric, labels)
 
     # -- alerting ----------------------------------------------------------------
 

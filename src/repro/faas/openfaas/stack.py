@@ -60,7 +60,10 @@ def make_openfaas_stack(
     snapshot_store = SnapshotStore()
     prebaker = Prebaker(kernel, snapshot_store)
     image_repo = ImageRepository()
-    prometheus = PrometheusLite()
+    # When the world has a telemetry hub, Prometheus rules evaluate
+    # against the same registry the obs instrumentation writes to.
+    registry = kernel.obs.metrics if kernel.obs is not None else None
+    prometheus = PrometheusLite(registry=registry)
     gateway = Gateway(kernel, provider, image_repo, snapshot_store,
                       prometheus=prometheus)
     cli = FaasCli(kernel, templates, prebaker, image_repo, gateway,

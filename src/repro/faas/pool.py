@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.starters import ReplicaHandle, Starter
 from repro.functions.base import FunctionApp
 from repro.osproc.kernel import Kernel
@@ -74,12 +75,17 @@ class WarmPool:
     def refill(self) -> int:
         """Top the pool back up to ``size``; returns replicas started."""
         started = 0
-        while len(self._idle) < self.size:
-            handle = self.starter.start(self.app_factory())
-            self._idle.append((handle, self.kernel.clock.now))
-            started += 1
+        with obs.span(self.kernel, "pool.refill",
+                      technique=self.starter.technique) as refill_span:
+            while len(self._idle) < self.size:
+                handle = self.starter.start(self.app_factory())
+                self._idle.append((handle, self.kernel.clock.now))
+                started += 1
+            refill_span.set(started=started)
         if started:
             self.stats.refills += started
+            obs.count(self.kernel, "pool_refills_total", started)
+        obs.gauge(self.kernel, "pool_idle_replicas", len(self._idle))
         return started
 
     def _pop_idle(self) -> ReplicaHandle:
@@ -91,9 +97,14 @@ class WarmPool:
         """Pop a warm replica, or cold-start on a miss."""
         if self._idle:
             self.stats.hits += 1
+            obs.count(self.kernel, "pool_hits_total")
+            obs.gauge(self.kernel, "pool_idle_replicas", len(self._idle) - 1)
             return self._pop_idle()
         self.stats.misses += 1
-        return self.starter.start(self.app_factory())
+        obs.count(self.kernel, "pool_misses_total")
+        with obs.span(self.kernel, "pool.miss_start",
+                      technique=self.starter.technique):
+            return self.starter.start(self.app_factory())
 
     def release(self, handle: ReplicaHandle) -> bool:
         """Return a replica to the pool; kills it if the pool is full."""

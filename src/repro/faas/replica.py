@@ -9,10 +9,12 @@ certain period, the platform garbage collects the function replica".
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from repro import obs
 from repro.core.starters import ReplicaHandle
 from repro.faas.resources import Allocation
 from repro.osproc.cgroups import MemoryCgroup
@@ -26,7 +28,27 @@ class ReplicaState(Enum):
     TERMINATED = "terminated"
 
 
-_replica_ids = itertools.count(1)
+# Replica IDs are allocated per simulated world (keyed weakly on the
+# kernel), not from a module global: a fresh world always numbers its
+# replicas from 1, so traces and logs are deterministic across runs
+# and tests cannot leak IDs into each other.
+_replica_counters: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def next_replica_id(kernel) -> int:
+    counter = _replica_counters.get(kernel)
+    if counter is None:
+        counter = itertools.count(1)
+        _replica_counters[kernel] = counter
+    return next(counter)
+
+
+def reset_replica_ids(kernel=None) -> None:
+    """Restart numbering for one kernel (or every tracked kernel)."""
+    if kernel is None:
+        _replica_counters.clear()
+    else:
+        _replica_counters.pop(kernel, None)
 
 
 class FunctionReplica:
@@ -35,7 +57,7 @@ class FunctionReplica:
     def __init__(self, function: str, handle: ReplicaHandle,
                  allocation: Optional[Allocation] = None,
                  cgroup: Optional[MemoryCgroup] = None) -> None:
-        self.replica_id = next(_replica_ids)
+        self.replica_id = next_replica_id(handle.runtime.kernel)
         self.function = function
         self.handle = handle
         self.allocation = allocation
@@ -55,13 +77,20 @@ class FunctionReplica:
             raise RuntimeError(
                 f"replica {self.replica_id} cannot serve in state {self.state.value}"
             )
+        kernel = self.handle.runtime.kernel
         self.state = ReplicaState.BUSY
         try:
-            response = self.handle.invoke(request)
+            with obs.span(kernel, "replica.request", function=self.function,
+                          replica_id=self.replica_id,
+                          technique=self.technique):
+                response = self.handle.invoke(request)
         finally:
             self.state = ReplicaState.IDLE
         self.requests_served += 1
         self.last_active_ms = response.finished_ms
+        obs.count(kernel, "replica_requests_total",
+                  labels={"function": self.function,
+                          "technique": self.technique})
         # The request may have grown the heap past the container's
         # memory limit — the cgroup OOM killer fires here, as it would
         # asynchronously in production.

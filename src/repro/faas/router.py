@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.faas.deployer import FunctionDeployer
 from repro.osproc.kernel import Kernel
 from repro.runtime.base import Request, Response
@@ -58,14 +59,18 @@ class FunctionRouter:
         """Deliver one request, provisioning a replica if none is idle."""
         request = request or Request()
         arrived = self.kernel.clock.now
-        replica = self.deployer.idle_replica(function)
-        cold = replica is None
-        if cold:
-            # Cold start: the request waits while the Deployer brings a
-            # replica up (Figure 1's execution flow).
-            replica = self.deployer.provision(function)
-        dispatched = self.kernel.clock.now
-        response = replica.serve(request)
+        with obs.span(self.kernel, "router.route", function=function,
+                      request_id=request.request_id) as route_span:
+            replica = self.deployer.idle_replica(function)
+            cold = replica is None
+            if cold:
+                # Cold start: the request waits while the Deployer brings a
+                # replica up (Figure 1's execution flow).
+                replica = self.deployer.provision(function)
+            dispatched = self.kernel.clock.now
+            route_span.set(cold_start=cold, replica_id=replica.replica_id,
+                           technique=replica.technique)
+            response = replica.serve(request)
         record = InvocationRecord(
             function=function,
             cold_start=cold,
@@ -79,4 +84,12 @@ class FunctionRouter:
         if cold:
             self.stats.cold_starts += 1
         self.stats.records.append(record)
+        labels = {"function": function, "technique": replica.technique}
+        obs.count(self.kernel, "router_invocations_total", labels=labels)
+        if cold:
+            obs.count(self.kernel, "router_cold_starts_total", labels=labels)
+            obs.observe(self.kernel, "router_cold_start_wait_ms",
+                        record.queued_ms, labels=labels)
+        obs.observe(self.kernel, "router_request_total_ms", record.total_ms,
+                    labels=labels)
         return response

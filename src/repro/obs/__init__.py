@@ -1,0 +1,108 @@
+"""repro.obs — unified telemetry for the prebake stack.
+
+Three pieces, one hub per simulated world:
+
+* :mod:`repro.obs.spans` — nested lifecycle spans on simulated time
+  (``deploy → bake → checkpoint → store → restore → replica.serve``);
+* :mod:`repro.obs.metrics` — counters, gauges, log-linear histograms
+  (the registry ``PrometheusLite`` alert rules evaluate against);
+* :mod:`repro.obs.export` — Prometheus text format and JSONL dumps,
+  summarized by ``python -m repro.obs.cli``.
+
+Instrumentation calls the module-level helpers below with the kernel
+in hand; when no :class:`Observability` hub is installed on the kernel
+they cost a single attribute load and do nothing, so un-observed
+worlds (the default) stay exactly as fast as before.
+
+    from repro import make_world, obs
+
+    world = make_world(seed=42)
+    hub = obs.install(world.kernel)
+    ...  # run a scenario
+    print(obs.export.render_prometheus(hub.metrics))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.obs import export  # re-exported for `obs.export.*` call sites
+from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.metrics import Histogram, MetricsError, MetricsRegistry
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanError, Tracer
+
+
+class Observability:
+    """Per-world telemetry hub: one tracer plus one metrics registry."""
+
+    def __init__(self, clock) -> None:
+        self.tracer = Tracer(clock)
+        self.metrics = MetricsRegistry()
+
+
+def install(kernel) -> Observability:
+    """Install (or fetch) the telemetry hub on ``kernel``."""
+    if kernel.obs is None:
+        kernel.obs = Observability(kernel.clock)
+    return kernel.obs
+
+
+def uninstall(kernel) -> None:
+    """Detach the hub; instrumentation reverts to zero-cost no-ops."""
+    kernel.obs = None
+
+
+# -- zero-cost instrumentation helpers ---------------------------------------
+#
+# Hot paths call these with their kernel; a world without an installed
+# hub takes the early-out branch.
+
+def span(kernel, name: str, **attributes: object) -> Union[Span, NullSpan]:
+    """Open a span on the world's tracer (no-op span when unobserved)."""
+    hub = kernel.obs
+    if hub is None:
+        return NULL_SPAN
+    return hub.tracer.span(name, **attributes)
+
+
+def count(kernel, name: str, value: float = 1.0,
+          labels: Optional[Dict[str, str]] = None) -> None:
+    hub = kernel.obs
+    if hub is not None:
+        hub.metrics.inc(name, value, labels)
+
+
+def gauge(kernel, name: str, value: float,
+          labels: Optional[Dict[str, str]] = None) -> None:
+    hub = kernel.obs
+    if hub is not None:
+        hub.metrics.set_gauge(name, value, labels)
+
+
+def observe(kernel, name: str, value: float,
+            labels: Optional[Dict[str, str]] = None) -> None:
+    hub = kernel.obs
+    if hub is not None:
+        hub.metrics.observe(name, value, labels)
+
+
+__all__ = [
+    "Observability",
+    "install",
+    "uninstall",
+    "span",
+    "count",
+    "gauge",
+    "observe",
+    "Span",
+    "SpanError",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "get_logger",
+    "export",
+]

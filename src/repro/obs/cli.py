@@ -1,0 +1,152 @@
+"""``python -m repro.obs.cli`` — summarize a JSONL trace dump.
+
+Default output is a per-span-name stage table (count, total, mean,
+p50/p95, max — exact percentiles, the trace has every sample);
+``--tree`` prints the nested spans of one trace instead.
+
+    python -m repro.obs.cli trace.jsonl
+    python -m repro.obs.cli trace.jsonl --tree --trace t-0001
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.obs.export import SpanRecord, read_trace_jsonl
+from repro.obs.log import get_logger
+
+log = get_logger("obs.cli")
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact inclusive percentile over a sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def summarize(records: List[SpanRecord]) -> str:
+    """Group finished spans by name into a stage table."""
+    by_name: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for record in records:
+        duration = record.get("duration_ms")
+        if duration is None:
+            continue
+        by_name.setdefault(str(record["name"]), []).append(float(duration))
+        if record.get("status") == "error":
+            errors[str(record["name"])] = errors.get(str(record["name"]), 0) + 1
+    rows = []
+    order = sorted(by_name, key=lambda n: -sum(by_name[n]))
+    for name in order:
+        values = sorted(by_name[name])
+        total = sum(values)
+        rows.append([
+            name,
+            str(len(values)),
+            f"{total:.2f}",
+            f"{total / len(values):.2f}",
+            f"{_percentile(values, 0.5):.2f}",
+            f"{_percentile(values, 0.95):.2f}",
+            f"{values[-1]:.2f}",
+            str(errors.get(name, 0)),
+        ])
+    return format_table(
+        ["span", "count", "total(ms)", "mean(ms)", "p50(ms)", "p95(ms)",
+         "max(ms)", "errors"],
+        rows,
+    )
+
+
+def render_tree(records: List[SpanRecord], trace_id: Optional[str] = None) -> str:
+    """Indented span tree of one trace (the first, unless selected)."""
+    if not records:
+        return "(empty trace)"
+    if trace_id is None:
+        trace_id = str(records[0].get("trace"))
+    spans = [r for r in records if r.get("trace") == trace_id]
+    if not spans:
+        raise SystemExit(f"no spans for trace {trace_id!r}")
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in spans:
+        children.setdefault(record.get("parent"), []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.get("start_ms", 0.0), r.get("span", 0)))
+    lines = [f"trace {trace_id}"]
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for record in children.get(parent, []):
+            duration = record.get("duration_ms")
+            stamp = "  (open)" if duration is None else f"  {duration:.2f}ms"
+            status = "" if record.get("status", "ok") == "ok" else " [error]"
+            attrs = record.get("attrs") or {}
+            blob = ""
+            if attrs:
+                blob = "  " + " ".join(
+                    f"{k}={v}" for k, v in sorted(attrs.items())
+                )
+            lines.append("  " * (depth + 1) + f"{record['name']}{stamp}"
+                         f"{status}{blob}")
+            walk(record.get("span"), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.cli",
+        description="Summarize a JSONL trace produced by the bench harness.",
+    )
+    parser.add_argument("trace_file", help="JSONL trace file (- for stdin)")
+    parser.add_argument("--tree", action="store_true",
+                        help="print the span tree of one trace")
+    parser.add_argument("--trace", default=None,
+                        help="trace id to print with --tree (default: first)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.trace_file == "-":
+            records = read_trace_jsonl(sys.stdin.read())
+        else:
+            records = read_trace_jsonl(pathlib.Path(args.trace_file))
+    except (OSError, ValueError) as exc:
+        log.error("trace.unreadable", file=args.trace_file, reason=str(exc))
+        return 1
+    if not records:
+        log.warning("trace.empty", file=args.trace_file)
+        return 0
+    if args.tree:
+        print(render_tree(records, args.trace))
+    else:
+        print(summarize(records))
+    log.info("trace.summarized", file=args.trace_file, spans=len(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

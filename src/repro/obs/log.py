@@ -1,0 +1,72 @@
+"""Structured diagnostic logging (stderr), keeping stdout for results.
+
+The bench CLIs print rendered tables/reports to stdout so pipelines
+can capture them; everything *about* the run (timings, file writes,
+errors) goes through here as ``key=value`` lines on stderr:
+
+    level=info component=bench event=experiment.done name=fig4 wall_s=2.1
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def _format_field(value: object) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    if any(ch.isspace() for ch in text) or text == "":
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+class StructuredLogger:
+    """Key=value line logger bound to one component name.
+
+    ``stream`` defaults to *current* ``sys.stderr`` at emit time so
+    pytest's capture fixtures (and shell redirections) see the lines.
+    """
+
+    def __init__(self, component: str, stream: Optional[TextIO] = None) -> None:
+        self.component = component
+        self._stream = stream
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        stream = self._stream if self._stream is not None else sys.stderr
+        parts = [f"level={level}", f"component={self.component}",
+                 f"event={event}"]
+        parts.extend(f"{key}={_format_field(value)}"
+                     for key, value in fields.items())
+        print(" ".join(parts), file=stream)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """Shared logger per component name (stderr-bound)."""
+    logger = _loggers.get(component)
+    if logger is None:
+        logger = StructuredLogger(component)
+        _loggers[component] = logger
+    return logger

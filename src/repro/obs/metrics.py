@@ -1,0 +1,221 @@
+"""Shared metrics registry: counters, gauges, log-linear histograms.
+
+One registry per simulated world (installed next to the span tracer by
+:func:`repro.obs.install`). The OpenFaaS ``PrometheusLite`` is an
+alert-rule layer over this registry, so platform code and experiment
+harnesses read the same series.
+
+Histograms use log-linear bucketing (HDR-histogram style): each
+power-of-two range is split into :data:`SUBBUCKETS` linear buckets,
+bounding the relative quantile error by ``1/SUBBUCKETS`` regardless of
+magnitude — the right trade for latencies spanning 0.01ms page faults
+to multi-second JVM boots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(Exception):
+    """Registry misuse (type mismatch, negative counter increment)."""
+
+
+def label_set(labels: Optional[Dict[str, str]]) -> LabelSet:
+    """Canonical, hashable form of a label dict."""
+    return tuple(sorted((labels or {}).items()))
+
+
+def labels_match(series: LabelSet, want: Dict[str, str]) -> bool:
+    """True when ``series`` carries every label in ``want``."""
+    have = dict(series)
+    return all(have.get(key) == value for key, value in want.items())
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucketing
+# ---------------------------------------------------------------------------
+
+SUBBUCKETS = 32  # linear buckets per power of two (~3% relative error)
+
+# frexp exponents for float range go down to about -1074 (subnormals);
+# shifting keeps bucket indices positive.
+_EXP_SHIFT = 1080
+
+
+def bucket_index(value: float) -> int:
+    """Log-linear bucket index; 0 collects zero and negative values."""
+    if value <= 0.0:
+        return 0
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    sub = int((mantissa - 0.5) * 2.0 * SUBBUCKETS)  # 0 .. SUBBUCKETS-1
+    if sub == SUBBUCKETS:  # mantissa == 1.0 cannot happen, but guard rounding
+        sub -= 1
+    return (exponent + _EXP_SHIFT) * SUBBUCKETS + sub + 1
+
+
+def bucket_midpoint(index: int) -> float:
+    """Representative value for a bucket (geometric centre of its range)."""
+    if index <= 0:
+        return 0.0
+    index -= 1
+    exponent = index // SUBBUCKETS - _EXP_SHIFT
+    sub = index % SUBBUCKETS
+    low = math.ldexp(0.5 + sub / (2.0 * SUBBUCKETS), exponent)
+    high = math.ldexp(0.5 + (sub + 1) / (2.0 * SUBBUCKETS), exponent)
+    return (low + high) / 2.0
+
+
+class Histogram:
+    """Log-linear histogram for one label set."""
+
+    __slots__ = ("buckets", "count", "total", "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (exact min/max at the extremes)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min_value
+        if q == 1.0:
+            return self.max_value
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                # Clamp the bucket representative into the observed range
+                # so approximation error never escapes [min, max].
+                mid = bucket_midpoint(index)
+                return min(max(mid, self.min_value), self.max_value)
+        return self.max_value  # pragma: no cover - rank <= count always hits
+
+    def percentiles(self, points: Iterable[float] = (0.5, 0.95, 0.99)) -> Dict[float, float]:
+        return {p: self.quantile(p) for p in points}
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class Metric:
+    """One named metric family: a kind plus its per-labelset series."""
+
+    __slots__ = ("name", "kind", "series")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.series: Dict[LabelSet, object] = {}
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms addressed by (name, labels)."""
+
+    DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- family management --------------------------------------------------------
+
+    def _family(self, name: str, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Metric(name, kind)
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def families(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def kind_of(self, name: str) -> Optional[str]:
+        metric = self._metrics.get(name)
+        return metric.kind if metric else None
+
+    # -- write paths ----------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0,
+            labels: Optional[Dict[str, str]] = None) -> None:
+        if value < 0:
+            raise MetricsError("counters only go up")
+        family = self._family(name, COUNTER)
+        key = label_set(labels)
+        family.series[key] = family.series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float,
+                  labels: Optional[Dict[str, str]] = None) -> None:
+        family = self._family(name, GAUGE)
+        family.series[label_set(labels)] = float(value)
+
+    def observe(self, name: str, value: float,
+                labels: Optional[Dict[str, str]] = None) -> None:
+        family = self._family(name, HISTOGRAM)
+        key = label_set(labels)
+        histogram = family.series.get(key)
+        if histogram is None:
+            histogram = Histogram()
+            family.series[key] = histogram
+        histogram.observe(value)
+
+    # -- read paths -----------------------------------------------------------------
+
+    def value(self, name: str, labels: Optional[Dict[str, str]] = None) -> float:
+        """Sum of a counter/gauge across series matching the label subset.
+
+        (Histograms are excluded: alert rules compare scalar series.)
+        """
+        metric = self._metrics.get(name)
+        if metric is None or metric.kind == HISTOGRAM:
+            return 0.0
+        want = dict(labels or {})
+        return sum(
+            v for series, v in metric.series.items()
+            if labels_match(series, want)
+        )
+
+    def histogram(self, name: str,
+                  labels: Optional[Dict[str, str]] = None) -> Optional[Histogram]:
+        """The histogram for one exact label set, or None."""
+        metric = self._metrics.get(name)
+        if metric is None or metric.kind != HISTOGRAM:
+            return None
+        return metric.series.get(label_set(labels))
+
+    def quantile(self, name: str, q: float,
+                 labels: Optional[Dict[str, str]] = None) -> float:
+        histogram = self.histogram(name, labels)
+        return histogram.quantile(q) if histogram else 0.0

@@ -53,6 +53,9 @@ class Kernel:
         self.fs = FileSystem()
         self.page_cache = PageCache()
         self.probes = ProbeRegistry()
+        # Telemetry hub (repro.obs.Observability) or None; instrumented
+        # code treats None as "telemetry off" and pays nothing.
+        self.obs = None
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
         self._tracees: Dict[int, int] = {}  # target pid -> tracer pid

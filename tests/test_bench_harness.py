@@ -10,7 +10,13 @@ from repro.core.manager import PrebakeManager
 from repro.core.policy import AfterReady, AfterWarmup
 from repro.core.starters import VanillaStarter
 from repro.functions import make_app
+from repro.osproc.probes import SyscallRecord
 from repro.sim.costmodel import DEFAULT_COST_MODEL
+
+
+def _emit(kernel, syscall, phase):
+    kernel.probes.emit(SyscallRecord(
+        syscall=syscall, pid=99, phase=phase, timestamp=kernel.clock.now))
 
 
 class TestPhaseTracer:
@@ -49,6 +55,42 @@ class TestPhaseTracer:
         tracer = PhaseTracer(kernel)
         VanillaStarter(kernel).start(make_app("noop"))  # not recording
         assert tracer.events == []
+
+    def test_episode_without_ready_rejected(self, kernel):
+        """clone+exec happened but the runtime never signalled ready
+        (e.g. the restore path died before runtime.ready)."""
+        tracer = PhaseTracer(kernel)
+        tracer.start_episode()
+        for syscall in ("clone", "execve"):
+            _emit(kernel, syscall, "enter")
+            kernel.clock.advance(1.0)
+            _emit(kernel, syscall, "exit")
+        tracer.stop_episode()
+        with pytest.raises(TraceError, match="never reached runtime.ready"):
+            tracer.breakdown()
+
+    def test_episode_without_clone_exec_rejected(self, kernel):
+        tracer = PhaseTracer(kernel)
+        tracer.start_episode()
+        _emit(kernel, "runtime.ready", "enter")
+        tracer.stop_episode()
+        with pytest.raises(TraceError, match="missing clone/exec"):
+            tracer.breakdown()
+
+    def test_partial_episode_does_not_poison_the_next(self, kernel):
+        tracer = PhaseTracer(kernel)
+        tracer.start_episode()
+        _emit(kernel, "clone", "enter")  # truncated episode
+        tracer.stop_episode()
+        with pytest.raises(TraceError):
+            tracer.breakdown()
+        # a fresh episode on the same tracer records cleanly
+        tracer.start_episode()
+        VanillaStarter(kernel).start(make_app("noop"))
+        tracer.stop_episode()
+        phases = tracer.breakdown()
+        assert phases.total_ms > 0.0
+        assert not any(e.pid == 99 for e in tracer.events)
 
     def test_breakdown_total(self, quiet_kernel):
         tracer = PhaseTracer(quiet_kernel)

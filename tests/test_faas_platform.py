@@ -15,7 +15,8 @@ from repro.faas import (
     ResourceError,
     ResourceManager,
 )
-from repro.faas.replica import ReplicaState
+from repro import make_world
+from repro.faas.replica import ReplicaState, next_replica_id, reset_replica_ids
 from repro.functions import MarkdownFunction, NoopFunction
 from repro.runtime.base import Request
 
@@ -215,3 +216,43 @@ class TestPlatformFlow:
         assert record.queued_ms > 0
         assert record.function == "noop"
         assert record.total_ms >= record.service_ms
+
+
+class TestReplicaIds:
+    """Replica IDs are allocated per simulated world, not globally."""
+
+    def _ids(self, seed):
+        platform = FaaSPlatform(make_world(seed=seed).kernel)
+        platform.register_function(NoopFunction)
+        platform.invoke("noop")
+        platform.scale("noop", 3)
+        return sorted(r.replica_id for r in platform.deployer.replicas("noop"))
+
+    def test_fresh_world_numbers_from_one(self):
+        assert self._ids(1) == [1, 2, 3]
+
+    def test_ids_deterministic_across_identical_worlds(self):
+        assert self._ids(7) == self._ids(7)
+
+    def test_two_live_worlds_do_not_share_a_counter(self):
+        k1 = make_world(seed=1).kernel
+        k2 = make_world(seed=2).kernel
+        assert next_replica_id(k1) == 1
+        assert next_replica_id(k1) == 2
+        assert next_replica_id(k2) == 1  # unaffected by k1's allocations
+
+    def test_reset_restarts_one_world(self):
+        kernel = make_world(seed=1).kernel
+        next_replica_id(kernel)
+        next_replica_id(kernel)
+        reset_replica_ids(kernel)
+        assert next_replica_id(kernel) == 1
+
+    def test_reset_all_worlds(self):
+        k1 = make_world(seed=1).kernel
+        k2 = make_world(seed=2).kernel
+        next_replica_id(k1)
+        next_replica_id(k2)
+        reset_replica_ids()
+        assert next_replica_id(k1) == 1
+        assert next_replica_id(k2) == 1

@@ -124,6 +124,63 @@ class TestPrometheus:
         prom.set_gauge("free", 1.0)
         assert len(prom.evaluate()) == 1
 
+    def test_less_than_rule_fires_on_absent_metric(self):
+        # An unwritten metric sums to 0, which is below any positive
+        # threshold — "<" rules see missing data as an outage.
+        prom = PrometheusLite()
+        prom.add_rule(AlertRule(name="low", metric="free", threshold=2.0,
+                                comparison="<"))
+        (alert,) = prom.evaluate()
+        assert alert.value == 0.0
+
+    def test_rule_with_label_filter_sums_matching_series_only(self):
+        prom = PrometheusLite()
+        prom.add_rule(AlertRule(name="hot-a", metric="pending", threshold=3.0,
+                                labels={"fn": "a"}))
+        prom.set_gauge("pending", 10.0, labels={"fn": "b"})
+        assert prom.evaluate() == []  # fn=b alone must not trip fn=a's rule
+        prom.set_gauge("pending", 4.0, labels={"fn": "a"})
+        (alert,) = prom.evaluate()
+        assert alert.value == 4.0
+
+    def test_less_than_rule_with_label_filter(self):
+        prom = PrometheusLite()
+        prom.add_rule(AlertRule(name="starved", metric="idle", threshold=1.0,
+                                comparison="<", labels={"fn": "a"}))
+        prom.set_gauge("idle", 5.0, labels={"fn": "b"})
+        prom.set_gauge("idle", 0.0, labels={"fn": "a"})
+        (alert,) = prom.evaluate(now_ms=3.0)
+        assert alert.value == 0.0
+        assert alert.at_ms == 3.0
+
+    def test_unsupported_comparison_rejected(self):
+        rule = AlertRule(name="bad", metric="m", threshold=1.0,
+                         comparison=">=")
+        with pytest.raises(ValueError, match="unsupported comparison"):
+            rule.evaluate(2.0)
+
+    def test_exact_threshold_never_fires(self):
+        rule = AlertRule(name="edge", metric="m", threshold=5.0)
+        assert not rule.evaluate(5.0)
+        assert not AlertRule(name="edge", metric="m", threshold=5.0,
+                             comparison="<").evaluate(5.0)
+
+    def test_histogram_series_invisible_to_rules(self):
+        # Alert rules compare scalar sums; observations must not trip them.
+        prom = PrometheusLite()
+        prom.add_rule(AlertRule(name="hot", metric="lat_ms", threshold=1.0))
+        prom.observe("lat_ms", 100.0)
+        assert prom.evaluate() == []
+
+    def test_shared_registry_is_visible_to_rules(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        prom = PrometheusLite(registry=registry)
+        prom.add_rule(AlertRule(name="hot", metric="load", threshold=5.0))
+        registry.set_gauge("load", 10.0)  # written outside PrometheusLite
+        (alert,) = prom.evaluate()
+        assert alert.value == 10.0
+
 
 class TestCliWorkflow:
     def test_new_build_push_deploy_invoke(self, stack):
