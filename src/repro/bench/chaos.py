@@ -1,0 +1,224 @@
+"""Chaos experiment: cold-start resilience under injected faults.
+
+Sweeps a fault-probability knob across both start techniques and
+reports what a user of the platform actually experiences: cold-start
+wait percentiles, request success rate, and how often each resilience
+mechanism (retry, fallback, quarantine/rebake, crash re-dispatch,
+re-queue, reap) had to engage.
+
+Every repetition runs in a fresh simulated world with faults drawn
+from dedicated per-site RNG streams, so the whole sweep — including
+the rendered report — is a pure function of ``(seed, parameters)``.
+The report ends with a schedule digest over every fault decision
+taken, which CI uses to assert seeded determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro import faults, make_world
+from repro.bench.report import format_table
+from repro.bench.stats import quantile
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.faults.errors import PlatformError
+from repro.faults.model import (
+    IMAGE_CORRUPT,
+    IO_SLOW,
+    OOM_KILL,
+    REPLICA_CRASH,
+    RESTORE_FAIL,
+    RESTORE_HANG,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.functions.base import make_app
+from repro.sim.rng import _derive_seed
+
+# How the single chaos knob fans out over the named fault sites.
+# Restore-path faults get the full rate — they are what the prebake
+# retry/fallback machinery exists to absorb. Serve-path faults run at
+# a fraction so a request (which survives at most ``max_crash_retries``
+# consecutive crashes) still demonstrably completes at knob = 1.0.
+SITE_RATE_SCALE = {
+    RESTORE_FAIL: 1.0,
+    RESTORE_HANG: 0.25,
+    IMAGE_CORRUPT: 0.25,
+    IO_SLOW: 0.5,
+    REPLICA_CRASH: 0.1,
+    OOM_KILL: 0.1,
+}
+
+# Shorter hang than the model default: the point is that hangs are
+# detected and retried, not to dominate the latency table.
+CHAOS_HANG_MS = 200.0
+
+
+def chaos_plan(rate: float) -> FaultPlan:
+    """The fault plan armed at one sweep point of the chaos knob."""
+    plan = FaultPlan()
+    for site, scale in SITE_RATE_SCALE.items():
+        probability = min(1.0, rate * scale)
+        if probability <= 0.0:
+            continue
+        delay = CHAOS_HANG_MS if site == RESTORE_HANG else None
+        plan = plan.with_spec(FaultSpec(site, probability, delay_ms=delay))
+    return plan
+
+
+@dataclass
+class ChaosTreatment:
+    """One (fault rate, technique) cell of the sweep."""
+
+    fault_rate: float
+    technique: str
+    requests: int = 0
+    successes: int = 0
+    cold_waits_ms: List[float] = field(default_factory=list)
+    faults_fired: int = 0
+    fallbacks: int = 0
+    retries: int = 0
+    quarantines: int = 0
+    rebakes: int = 0
+    crash_retries: int = 0
+    requeues: int = 0
+    reaped: int = 0
+    schedule_digests: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.requests if self.requests else 0.0
+
+    def cold_p50(self) -> float:
+        return quantile(self.cold_waits_ms, 0.5) if self.cold_waits_ms else 0.0
+
+    def cold_p99(self) -> float:
+        return quantile(self.cold_waits_ms, 0.99) if self.cold_waits_ms else 0.0
+
+
+@dataclass
+class ChaosResult:
+    """The full sweep, renderable as a stdout-diffable report."""
+
+    function: str
+    repetitions: int
+    requests_per_rep: int
+    seed: int
+    treatments: List[ChaosTreatment] = field(default_factory=list)
+
+    def treatment(self, rate: float, technique: str) -> ChaosTreatment:
+        for t in self.treatments:
+            if t.fault_rate == rate and t.technique == technique:
+                return t
+        raise KeyError(f"no treatment rate={rate} technique={technique}")
+
+    def sweep_digest(self) -> str:
+        """Digest over every fault decision of the whole sweep."""
+        hasher = hashlib.sha256()
+        for t in self.treatments:
+            for digest in t.schedule_digests:
+                hasher.update(digest.encode("ascii"))
+        return hasher.hexdigest()
+
+    def render(self) -> str:
+        rows = []
+        for t in self.treatments:
+            rows.append([
+                f"{t.fault_rate:.2f}",
+                t.technique,
+                f"{t.cold_p50():.2f}",
+                f"{t.cold_p99():.2f}",
+                f"{100.0 * t.success_rate:.1f}%",
+                t.faults_fired,
+                t.fallbacks,
+                t.retries,
+                t.quarantines,
+                t.crash_retries,
+                t.reaped,
+            ])
+        table = format_table(
+            ["rate", "technique", "cold p50 ms", "cold p99 ms", "success",
+             "faults", "fallback", "retry", "quarantine", "crash-retry",
+             "reaped"],
+            rows,
+        )
+        header = (
+            f"Chaos recovery — {self.function}, "
+            f"{self.repetitions} reps x {self.requests_per_rep} requests, "
+            f"seed {self.seed}"
+        )
+        return (header + "\n" + table
+                + f"\nfault schedule digest: {self.sweep_digest()}")
+
+
+def _run_repetition(treatment: ChaosTreatment, function: str,
+                    technique: str, rate: float, rep: int, seed: int,
+                    requests_per_rep: int, think_ms: float) -> None:
+    world = make_world(
+        seed=_derive_seed(seed, f"chaos-{technique}-{rate}-{rep}"),
+        observe=True,
+    )
+    kernel = world.kernel
+    platform = FaaSPlatform(kernel, PlatformConfig(nodes=2))
+    platform.register_function(lambda: make_app(function),
+                               start_technique=technique)
+    injector = platform.install_faults(chaos_plan(rate))
+    try:
+        for _ in range(requests_per_rep):
+            treatment.requests += 1
+            try:
+                platform.invoke(function)
+                treatment.successes += 1
+            except PlatformError:
+                pass
+            kernel.clock.advance(think_ms)
+            platform.gc_tick()
+    finally:
+        faults.uninstall(kernel)
+    metrics = kernel.obs.metrics
+    treatment.cold_waits_ms.extend(platform.cold_start_latencies(function))
+    treatment.faults_fired += injector.fired_count()
+    treatment.fallbacks += int(metrics.value("prebake_fallback_total"))
+    treatment.retries += int(metrics.value("prebake_restore_retries_total"))
+    treatment.quarantines += int(
+        metrics.value("prebake_snapshot_quarantined_total"))
+    treatment.rebakes += int(metrics.value("prebake_rebake_total"))
+    treatment.crash_retries += int(metrics.value("router_crash_retries_total"))
+    treatment.requeues += int(metrics.value("router_requeued_total"))
+    treatment.reaped += int(metrics.value("deployer_reaped_total")
+                            + metrics.value("pool_reaped_total"))
+    treatment.schedule_digests.append(injector.schedule_digest())
+
+
+def chaos_experiment(
+    function: str = "markdown",
+    fault_rates: Sequence[float] = (0.0, 0.25, 1.0),
+    repetitions: int = 20,
+    requests_per_rep: int = 4,
+    seed: int = 42,
+    think_ms: float = 100.0,
+) -> ChaosResult:
+    """Sweep the chaos knob over both techniques.
+
+    Each repetition is a fresh world: register the function, arm the
+    fault plan, issue ``requests_per_rep`` sequential requests (with
+    ``think_ms`` of idle time and one autoscaler tick between them, so
+    crashed replicas get reaped and follow-up requests cold-start
+    again), and account per-world metrics into the treatment.
+    """
+    result = ChaosResult(
+        function=function,
+        repetitions=repetitions,
+        requests_per_rep=requests_per_rep,
+        seed=seed,
+    )
+    for rate in fault_rates:
+        for technique in ("vanilla", "prebake"):
+            treatment = ChaosTreatment(fault_rate=rate, technique=technique)
+            for rep in range(repetitions):
+                _run_repetition(treatment, function, technique, rate, rep,
+                                seed, requests_per_rep, think_ms)
+            result.treatments.append(treatment)
+    return result

@@ -88,6 +88,14 @@ def _run_ext_pool(args) -> str:
                                  "30 s idle timeout")
 
 
+def _run_chaos(args) -> str:
+    """Fault-injection sweep: resilience of both start techniques."""
+    from repro.bench.chaos import chaos_experiment
+    return chaos_experiment(
+        repetitions=max(5, args.repetitions // 5), seed=args.seed
+    ).render()
+
+
 def _run_trace(args) -> str:
     """Record full lifecycle traces for a few episodes and summarize.
 
@@ -124,6 +132,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-bake-timing": _run_ablation_bake_timing,
     "ext-runtimes": _run_ext_runtimes,
     "ext-pool": _run_ext_pool,
+    "chaos": _run_chaos,
     "trace": _run_trace,
 }
 

@@ -20,6 +20,7 @@ from repro.core.starters import (
 )
 from repro.core.store import SnapshotKey, SnapshotStore
 from repro.criu.restore import RestoreMode
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.functions.base import FunctionApp
 from repro.osproc.kernel import Kernel
 
@@ -63,6 +64,19 @@ class PrebakeManager:
 
     # -- start-time --------------------------------------------------------------
 
+    def rebake(self, app: FunctionApp, policy: SnapshotPolicy,
+               version: int) -> BakeReport:
+        """Re-bake ``app`` under an *existing* (policy, version) key.
+
+        The recovery path after a quarantined snapshot: unlike
+        :meth:`deploy` it does not mint a new version, so starters
+        holding the old key pick up the fresh image transparently.
+        """
+        report = self.prebaker.bake(app, policy=policy, version=version)
+        obs.count(self.kernel, "prebake_rebake_total",
+                  labels={"function": app.name})
+        return report
+
     def starter(
         self,
         technique: str,
@@ -70,6 +84,8 @@ class PrebakeManager:
         restore_mode: RestoreMode = RestoreMode.EAGER,
         in_memory: bool = False,
         version: int = 1,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        fallback: bool = True,
     ) -> Starter:
         """Build a starter for ``technique`` ("vanilla" | "prebake")."""
         if technique == "vanilla":
@@ -82,6 +98,9 @@ class PrebakeManager:
                 restore_mode=restore_mode,
                 in_memory=in_memory,
                 version=version,
+                retry_policy=retry_policy,
+                fallback=fallback,
+                rebake=lambda app: self.rebake(app, policy, version),
             )
         raise ValueError(f"unknown technique {technique!r}")
 

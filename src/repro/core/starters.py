@@ -8,12 +8,15 @@ system calls (henceforth, the Vanilla method)".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.core.policy import AfterReady, SnapshotPolicy
-from repro.core.store import SnapshotKey, SnapshotStore
+from repro.core.store import SnapshotKey, SnapshotNotFound, SnapshotStore
+from repro.criu.images import CheckpointImage
 from repro.criu.restore import RestoreEngine, RestoreMode
+from repro.faults.errors import PlatformError, RestoreFailed, SnapshotCorrupted
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.functions.base import FunctionApp
 from repro.osproc.kernel import Kernel
 from repro.osproc.process import Process
@@ -21,7 +24,7 @@ from repro.runtime import RUNTIME_KINDS
 from repro.runtime.base import ManagedRuntime, Request, Response
 
 
-class StartError(Exception):
+class StartError(PlatformError):
     """Replica could not be started."""
 
 
@@ -132,7 +135,15 @@ class VanillaStarter(Starter):
 
 
 class PrebakeStarter(Starter):
-    """Restore a previously baked snapshot instead of starting fresh."""
+    """Restore a previously baked snapshot instead of starting fresh.
+
+    Production resilience lives here: failed restores are retried with
+    capped exponential backoff (on simulated time), corrupted snapshots
+    are quarantined — and rebaked when a ``rebake`` hook is wired in —
+    and once the retry budget is spent the starter falls back to the
+    vanilla fork/exec path, so a broken snapshot registry degrades a
+    cold start to vanilla speed instead of failing the request.
+    """
 
     technique = "prebake"
 
@@ -144,6 +155,9 @@ class PrebakeStarter(Starter):
         restore_mode: RestoreMode = RestoreMode.EAGER,
         in_memory: bool = False,
         version: int = 1,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        fallback: bool = True,
+        rebake: Optional[Callable[[FunctionApp], object]] = None,
     ) -> None:
         super().__init__(kernel)
         self.store = store
@@ -151,6 +165,9 @@ class PrebakeStarter(Starter):
         self.restore_mode = restore_mode
         self.in_memory = in_memory
         self.version = version
+        self.retry_policy = retry_policy
+        self.fallback = fallback
+        self.rebake = rebake
         self.restore_engine = RestoreEngine(kernel)
 
     def snapshot_key(self, app: FunctionApp) -> SnapshotKey:
@@ -163,7 +180,65 @@ class PrebakeStarter(Starter):
 
     def start(self, app: FunctionApp, parent: Optional[Process] = None) -> ReplicaHandle:
         kernel = self.kernel
-        image = self.store.get(self.snapshot_key(app))
+        key = self.snapshot_key(app)
+        labels = {"function": app.name}
+        started_at = kernel.clock.now
+        failure: Optional[PlatformError] = None
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            try:
+                image = self.store.get(key)
+                faults.corrupt_image(kernel, image)
+                handle = self._start_from_image(app, image, parent)
+                # Request-observed start-up includes any retries that
+                # preceded this successful attempt.
+                handle.spawned_at_ms = started_at
+                return handle
+            except SnapshotCorrupted as exc:
+                # Quarantine the poisoned snapshot so no other replica
+                # restores it, then rebake a fresh one when we can.
+                self.store.quarantine(key)
+                obs.count(kernel, "prebake_snapshot_quarantined_total",
+                          labels=labels)
+                if self.rebake is not None:
+                    self.rebake(app)
+                failure = exc
+            except RestoreFailed as exc:
+                failure = exc
+            except SnapshotNotFound:
+                # A registry miss is a configuration error, not a
+                # runtime fault: without a rebake hook, stay loud
+                # rather than silently serving vanilla forever.
+                if self.rebake is None:
+                    raise
+                obs.count(kernel, "prebake_restore_failures_total",
+                          labels={**labels, "reason": "SnapshotNotFound"})
+                self.rebake(app)
+                continue  # retry immediately; the registry miss cost nothing
+            obs.count(kernel, "prebake_restore_failures_total",
+                      labels={**labels, "reason": type(failure).__name__})
+            if attempt < self.retry_policy.max_attempts:
+                backoff = self.retry_policy.backoff_ms(attempt)
+                obs.observe(kernel, "prebake_retry_backoff_ms", backoff,
+                            labels=labels)
+                obs.count(kernel, "prebake_restore_retries_total", labels=labels)
+                kernel.clock.advance(backoff)
+        if failure is None:
+            failure = StartError(
+                f"prebake start of {app.name!r} exhausted "
+                f"{self.retry_policy.max_attempts} attempts"
+            )
+        if not self.fallback:
+            raise failure
+        obs.count(kernel, "prebake_fallback_total", labels=labels)
+        with obs.span(kernel, "prebake.fallback", function=app.name,
+                      reason=type(failure).__name__):
+            handle = launch_vanilla(kernel, app, parent=parent)
+        handle.spawned_at_ms = started_at
+        return handle
+
+    def _start_from_image(self, app: FunctionApp, image: CheckpointImage,
+                          parent: Optional[Process]) -> ReplicaHandle:
+        kernel = self.kernel
         spawned_at = kernel.clock.now
         override = app.profile.restore_override_ms(image.warm)
         with obs.span(kernel, "replica.start", technique="prebake",

@@ -45,6 +45,7 @@ class SnapshotStore:
 
     def __init__(self) -> None:
         self._snapshots: Dict[SnapshotKey, StoredSnapshot] = {}
+        self._quarantined: List[StoredSnapshot] = []
 
     def put(self, key: SnapshotKey, image: CheckpointImage, now_ms: float = 0.0) -> None:
         """Store (or replace — new function version) a snapshot."""
@@ -71,6 +72,27 @@ class SnapshotStore:
         if key not in self._snapshots:
             raise SnapshotNotFound(str(key))
         del self._snapshots[key]
+
+    def quarantine(self, key: SnapshotKey) -> bool:
+        """Pull a (corrupted) snapshot out of circulation.
+
+        The entry is kept on a quarantine list for forensics rather
+        than deleted; returns whether anything was stored under the
+        key. Missing keys are tolerated — two replicas may race to
+        quarantine the same poisoned image.
+        """
+        entry = self._snapshots.pop(key, None)
+        if entry is None:
+            return False
+        self._quarantined.append(entry)
+        return True
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)
+
+    def quarantined_keys(self) -> List[SnapshotKey]:
+        return [e.key for e in self._quarantined]
 
     def restore_count(self, key: SnapshotKey) -> int:
         entry = self._snapshots.get(key)

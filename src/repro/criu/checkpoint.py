@@ -174,6 +174,9 @@ class CheckpointEngine:
         )
         build_image_files(image)
         image.validate()
+        # Seal the content digest: restores verify against it, so any
+        # later bit rot in the stored image is caught before transmute.
+        image.seal()
 
         # 4. The parasite pipes page contents out to the criu process,
         # which writes the image files — charge the dump cost.

@@ -9,10 +9,38 @@ the quantity that drives restore latency in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from repro.faults.errors import SnapshotCorrupted
 from repro.osproc.memory import PAGE_SIZE
+
+
+def _stable(obj: Any, _depth: int = 0) -> Any:
+    """Project ``obj`` into a JSON-able form that is stable across runs.
+
+    ``repr`` of plain objects embeds memory addresses, which would make
+    content digests differ between identically seeded runs; instead,
+    objects are projected as class name + sorted attribute dict.
+    """
+    if _depth > 12:
+        return f"<depth-capped {type(obj).__name__}>"
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _stable(v, _depth + 1)
+                for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=str) if isinstance(obj, (set, frozenset)) else obj
+        return [_stable(v, _depth + 1) for v in items]
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        projected = {k: _stable(v, _depth + 1) for k, v in sorted(attrs.items())}
+        projected["__class__"] = type(obj).__name__
+        return projected
+    return f"<{type(obj).__name__}>"
 
 
 @dataclass(frozen=True)
@@ -72,6 +100,7 @@ class CheckpointImage:
     files: Dict[str, ImageFile] = field(default_factory=dict)
     parent_image_id: Optional[str] = None  # set for incremental pre-dumps
     warm: bool = False  # snapshot taken after >= 1 request (prebake-warmup)
+    digest: Optional[str] = None  # content digest sealed at dump time
 
     # -- size accounting ----------------------------------------------------------
 
@@ -98,6 +127,76 @@ class CheckpointImage:
             raise KeyError(
                 f"image {self.image_id!r} has no file {name!r}; has {sorted(self.files)}"
             ) from None
+
+    # -- integrity ---------------------------------------------------------------
+
+    def compute_digest(self) -> str:
+        """SHA-256 over everything a restore consumes.
+
+        Covers the dumped memory contents (VMA layout + per-page
+        content tags), the fd table, the runtime state and the image
+        file sizes — any bit rot in those shows up as a mismatch
+        against the sealed :attr:`digest`.
+        """
+        payload = {
+            "pid": self.pid,
+            "comm": self.comm,
+            "argv": self.argv,
+            "namespaces": {k: v for k, v in sorted(self.namespace_ids.items())},
+            "vmas": [
+                [v.start, v.length, v.kind, v.prot, v.label, v.file_path,
+                 v.file_offset, v.file_size, list(v.resident_indices),
+                 list(v.content_tags)]
+                for v in self.vmas
+            ],
+            "fds": [
+                [f.fd, f.path, f.offset, f.flags, f.is_socket, f.file_size]
+                for f in self.fds
+            ],
+            "runtime_state": _stable(self.runtime_state),
+            "files": {name: f.size_bytes for name, f in sorted(self.files.items())},
+            "warm": self.warm,
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    def seal(self) -> str:
+        """Record the content digest (done once, at dump time)."""
+        self.digest = self.compute_digest()
+        return self.digest
+
+    def verify_integrity(self) -> None:
+        """Check contents against the sealed digest.
+
+        Unsealed images (hand-built in tests, pre-digest dumps) pass
+        trivially; a sealed image whose contents drifted raises
+        :class:`SnapshotCorrupted`.
+        """
+        if self.digest is None:
+            return
+        actual = self.compute_digest()
+        if actual != self.digest:
+            raise SnapshotCorrupted(
+                f"image {self.image_id!r} failed integrity verification: "
+                f"digest {actual[:12]}... != sealed {self.digest[:12]}...",
+                image_id=self.image_id,
+            )
+
+    def tamper(self) -> None:
+        """Corrupt the dumped page contents in place (fault injection).
+
+        Flips the content tag of the first resident page — the smallest
+        change that keeps :meth:`validate`'s structural checks passing
+        while the content digest no longer matches, exactly like a
+        flipped bit in ``pages-1.img``.
+        """
+        for index, vma in enumerate(self.vmas):
+            if vma.content_tags:
+                tags = list(vma.content_tags)
+                tags[0] = tags[0] + "\x00corrupt"
+                self.vmas[index] = replace(vma, content_tags=tuple(tags))
+                return
+        self.comm = self.comm + "\x00corrupt"
 
     def validate(self) -> None:
         """Internal consistency checks a restore relies on."""

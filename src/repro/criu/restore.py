@@ -17,15 +17,16 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.criu.images import CheckpointImage
+from repro.faults.errors import RestoreFailed, SnapshotCorrupted
 from repro.osproc.kernel import Kernel
 from repro.osproc.memory import VMAKind
 from repro.osproc.process import Capability, Process, ProcessState
 
 
 class RestoreError(Exception):
-    """Restore protocol failure."""
+    """Restore protocol failure (misuse, not an injected fault)."""
 
 
 class RestoreMode(Enum):
@@ -64,6 +65,13 @@ class RestoreEngine:
         """
         kernel = self.kernel
         image.validate()
+        # Integrity gate: a corrupted image must never transmute into a
+        # half-restored process — fail before any work is charged.
+        try:
+            image.verify_integrity()
+        except SnapshotCorrupted:
+            obs.count(kernel, "snapshot_corruption_detected_total")
+            raise
         parent = parent or kernel.init_process
 
         # Spawn the criu process that will transmute into the target.
@@ -91,6 +99,7 @@ class RestoreEngine:
                       in_memory=in_memory, warm=image.warm):
             try:
                 self._transmute(proc, image)
+                self._inject_restore_faults(proc, image)
             except Exception:
                 kernel.kill(proc.pid)
                 raise
@@ -98,6 +107,10 @@ class RestoreEngine:
             # Charge the restore work (page reads + remapping).
             duration = self._restore_duration(image, mode, in_memory,
                                               duration_override_ms)
+            if faults.should_fire(kernel, faults.IO_SLOW, detail=image.image_id):
+                # Slow storage under the image directory: the page
+                # reads pay the armed penalty on top of the model cost.
+                duration += faults.extra_delay_ms(kernel, faults.IO_SLOW)
             charged = kernel.costs.jitter(duration, kernel.streams,
                                           "criu.restore")
             kernel.clock.advance(charged)
@@ -120,6 +133,34 @@ class RestoreEngine:
         return proc
 
     # -- internals ------------------------------------------------------------------
+
+    def _inject_restore_faults(self, proc: Process, image: CheckpointImage) -> None:
+        """Evaluate the restore-path fault sites (no-op when uninstalled).
+
+        Both failure modes surface as :class:`RestoreFailed` — the
+        caller's retry/fallback policy is the recovery path — but a
+        hang first burns the watchdog timeout on the simulated clock,
+        so hung restores are visibly more expensive than fast failures.
+        """
+        kernel = self.kernel
+        if faults.should_fire(kernel, faults.RESTORE_FAIL, detail=image.image_id):
+            obs.count(kernel, "criu_restore_failures_total",
+                      labels={"reason": "fail"})
+            raise RestoreFailed(
+                f"restore of image {image.image_id!r} failed "
+                f"(criu pid {proc.pid} died)",
+                image_id=image.image_id, kind="fail",
+            )
+        if faults.should_fire(kernel, faults.RESTORE_HANG, detail=image.image_id):
+            hang_ms = faults.extra_delay_ms(kernel, faults.RESTORE_HANG)
+            kernel.clock.advance(hang_ms)
+            obs.count(kernel, "criu_restore_failures_total",
+                      labels={"reason": "hang"})
+            raise RestoreFailed(
+                f"restore of image {image.image_id!r} hung; watchdog killed "
+                f"criu pid {proc.pid} after {hang_ms:g} ms",
+                image_id=image.image_id, kind="hang",
+            )
 
     def _restore_duration(
         self,

@@ -17,6 +17,7 @@ from repro import obs
 from repro.faas.deployer import FunctionDeployer
 from repro.faas.registry import FunctionRegistry
 from repro.faas.replica import ReplicaState
+from repro.faults.errors import CapacityExhausted
 from repro.osproc.kernel import Kernel
 
 
@@ -35,7 +36,7 @@ class ScaleEvent:
 
     at_ms: float
     function: str
-    action: str      # "scale-up" | "gc"
+    action: str      # "scale-up" | "gc" | "reap" | "heal"
     replicas_after: int
 
 
@@ -56,10 +57,48 @@ class Autoscaler:
         self.events: List[ScaleEvent] = []
 
     def tick(self) -> None:
-        """Run one reconciliation pass over every registered function."""
+        """Run one reconciliation pass over every registered function.
+
+        Order matters: reap crashed replicas first (freeing node
+        memory), then heal back up to ``min_replicas``, then GC idle
+        excess — so a crash storm converges to the configured floor
+        instead of oscillating.
+        """
         now = self.kernel.clock.now
         for name in self.registry.names():
+            self._reap_crashed(name, now)
+            self._heal_to_min(name)
             self._gc_idle(name, now)
+
+    def _reap_crashed(self, function: str, now: float) -> None:
+        reaped = self.deployer.health_check(function)
+        for _ in reaped:
+            remaining = len(self.deployer.replicas(function))
+            self.events.append(ScaleEvent(
+                at_ms=now, function=function, action="reap",
+                replicas_after=remaining,
+            ))
+            obs.count(self.kernel, "autoscaler_actions_total",
+                      labels={"function": function, "action": "reap"})
+
+    def _heal_to_min(self, function: str) -> None:
+        """Re-provision up to the configured replica floor."""
+        floor = self.config.min_replicas
+        if floor <= 0:
+            return
+        while len(self.deployer.replicas(function)) < floor:
+            try:
+                with obs.span(self.kernel, "autoscaler.heal", function=function):
+                    self.deployer.provision(function)
+            except CapacityExhausted:
+                break
+            remaining = len(self.deployer.replicas(function))
+            self.events.append(ScaleEvent(
+                at_ms=self.kernel.clock.now, function=function, action="heal",
+                replicas_after=remaining,
+            ))
+            obs.count(self.kernel, "autoscaler_actions_total",
+                      labels={"function": function, "action": "heal"})
 
     def _gc_idle(self, function: str, now: float) -> None:
         metadata = self.registry.lookup(function)

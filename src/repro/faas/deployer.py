@@ -14,6 +14,7 @@ from repro.core.manager import PrebakeManager
 from repro.faas.registry import FunctionMetadata, FunctionRegistry
 from repro.faas.replica import FunctionReplica, ReplicaState
 from repro.faas.resources import ResourceManager
+from repro.faults.errors import CapacityExhausted
 from repro.osproc.cgroups import CgroupManager
 from repro.osproc.kernel import Kernel
 
@@ -42,8 +43,9 @@ class FunctionDeployer:
         metadata = self.registry.lookup(function)
         live = self.replicas(function)
         if len(live) >= metadata.max_replicas:
-            raise RuntimeError(
-                f"function {function!r} at max_replicas={metadata.max_replicas}"
+            raise CapacityExhausted(
+                f"function {function!r} at max_replicas={metadata.max_replicas}",
+                function=function, max_replicas=metadata.max_replicas,
             )
         app = metadata.make_app()
         # Reserve node memory for the container hosting the replica.
@@ -105,6 +107,33 @@ class FunctionDeployer:
             if replica.state is ReplicaState.IDLE:
                 return replica
         return None
+
+    def health_check(self, function: Optional[str] = None) -> List[FunctionReplica]:
+        """Reap replicas whose backing process died under the platform.
+
+        Crashed replicas (injected ``replica.crash``/``oom.kill``
+        faults, or anything else that killed the process without going
+        through :meth:`FunctionReplica.terminate`) are detected by
+        liveness, terminated for bookkeeping — releasing their node
+        memory — and returned so callers can re-provision.
+        """
+        reaped: List[FunctionReplica] = []
+        names = [function] if function is not None else list(self._replicas)
+        for name in names:
+            dead = [r for r in self._replicas.get(name, [])
+                    if r.state is not ReplicaState.TERMINATED
+                    and not r.handle.process.alive]
+            for replica in dead:
+                replica.terminate()
+                reaped.append(replica)
+                obs.count(self.kernel, "deployer_reaped_total",
+                          labels={"function": name})
+            if dead:
+                # Prune terminated entries and republish the live gauge.
+                obs.gauge(self.kernel, "deployer_replicas",
+                          float(len(self.replicas(name))),
+                          labels={"function": name})
+        return reaped
 
     def scale_down(self, function: str, count: int = 1) -> int:
         """Terminate up to ``count`` idle replicas; return how many died."""

@@ -26,11 +26,16 @@ from repro.runtime.base import Request, Response
 
 @dataclass
 class PlatformConfig:
-    """Cluster shape + autoscaler policy."""
+    """Cluster shape + autoscaler policy + router resilience."""
 
     nodes: int = 2
     node_memory_mib: float = 8192.0
     autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    # Router resilience: re-queue backoff when capacity is exhausted,
+    # dispatch deadline, and how many replica crashes one request rides.
+    requeue_backoff_ms: float = 5.0
+    request_timeout_ms: float = 30_000.0
+    max_crash_retries: int = 3
 
 
 class FaaSPlatform:
@@ -51,7 +56,13 @@ class FaaSPlatform:
         self.deployer = FunctionDeployer(
             kernel, self.registry, self.resources, self.prebake_manager
         )
-        self.router = FunctionRouter(kernel, self.deployer)
+        self.router = FunctionRouter(
+            kernel,
+            self.deployer,
+            requeue_backoff_ms=config.requeue_backoff_ms,
+            request_timeout_ms=config.request_timeout_ms,
+            max_crash_retries=config.max_crash_retries,
+        )
         self.autoscaler = Autoscaler(
             kernel, self.registry, self.deployer, config.autoscaler
         )
@@ -106,8 +117,17 @@ class FaaSPlatform:
         self.autoscaler.ensure_capacity(function, replicas)
 
     def gc_tick(self) -> None:
-        """Run one autoscaler reconciliation pass."""
+        """Run one autoscaler reconciliation pass (reap → heal → GC)."""
         self.autoscaler.tick()
+
+    def health_check(self) -> int:
+        """Reap every crashed replica across all functions; return count."""
+        return len(self.deployer.health_check())
+
+    def install_faults(self, plan) -> "object":
+        """Arm a :class:`repro.faults.FaultPlan` on this platform's world."""
+        from repro import faults
+        return faults.install(self.kernel, plan)
 
     # -- observability --------------------------------------------------------------------
 

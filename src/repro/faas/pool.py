@@ -93,8 +93,42 @@ class WarmPool:
         self.stats.idle_mib_ms += (self.kernel.clock.now - since) * handle.process.rss_mib
         return handle
 
+    def health_check(self, refill: bool = False) -> int:
+        """Drop idle replicas whose process died; optionally refill.
+
+        Idle-time memory accounting for a dead replica stops at the
+        moment of the check (the platform only learns of the death
+        here). Returns how many dead replicas were reaped.
+        """
+        now = self.kernel.clock.now
+        alive: List[Tuple[ReplicaHandle, float]] = []
+        reaped = 0
+        for handle, since in self._idle:
+            if handle.process.alive:
+                alive.append((handle, since))
+            else:
+                self.stats.idle_mib_ms += (now - since) * handle.process.rss_mib
+                reaped += 1
+        self._idle = alive
+        if reaped:
+            obs.count(self.kernel, "pool_reaped_total", reaped)
+            obs.gauge(self.kernel, "pool_idle_replicas", len(self._idle))
+        if refill and reaped:
+            self.refill()
+        return reaped
+
     def take(self) -> ReplicaHandle:
-        """Pop a warm replica, or cold-start on a miss."""
+        """Pop a warm replica, or cold-start on a miss.
+
+        Dead pool entries (a replica crashed while idling) are skipped
+        and reaped — a poisoned pool degrades to a miss, never to a
+        dead replica serving a request.
+        """
+        while self._idle and not self._idle[-1][0].process.alive:
+            handle, since = self._idle.pop()
+            self.stats.idle_mib_ms += ((self.kernel.clock.now - since)
+                                       * handle.process.rss_mib)
+            obs.count(self.kernel, "pool_reaped_total")
         if self._idle:
             self.stats.hits += 1
             obs.count(self.kernel, "pool_hits_total")

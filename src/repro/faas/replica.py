@@ -14,10 +14,11 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.core.starters import ReplicaHandle
 from repro.faas.resources import Allocation
-from repro.osproc.cgroups import MemoryCgroup
+from repro.faults.errors import ReplicaCrashed, ReplicaUnavailable
+from repro.osproc.cgroups import MemoryCgroup, OomEvent
 from repro.runtime.base import Request, Response
 
 
@@ -66,18 +67,40 @@ class FunctionReplica:
         self.last_active_ms = handle.ready_at_ms
         self.requests_served = 0
         self.cold_start_ms = handle.startup_ms("ready")
+        # Set by the router per dispatch: did this request's dispatch
+        # provision the replica (i.e. was it a cold start)?
+        self.provisioned_cold = False
 
     @property
     def technique(self) -> str:
         return self.handle.technique
 
+    @property
+    def healthy(self) -> bool:
+        """Is the backing process alive and the replica servable?"""
+        return (self.state is not ReplicaState.TERMINATED
+                and self.handle.process.alive)
+
     def serve(self, request: Request) -> Response:
         """Process one request (the replica is busy for its duration)."""
         if self.state is not ReplicaState.IDLE:
-            raise RuntimeError(
+            raise ReplicaUnavailable(
                 f"replica {self.replica_id} cannot serve in state {self.state.value}"
             )
         kernel = self.handle.runtime.kernel
+        if faults.should_fire(kernel, faults.REPLICA_CRASH,
+                              detail=f"{self.function}/r{self.replica_id}"):
+            # The replica dies with the request in flight; the router
+            # owns re-dispatching it to a healthy replica.
+            self.terminate()
+            obs.count(kernel, "replica_crashes_total",
+                      labels={"function": self.function,
+                              "technique": self.technique})
+            raise ReplicaCrashed(
+                f"replica {self.replica_id} of {self.function!r} crashed "
+                f"serving request {request.request_id}",
+                function=self.function, replica_id=self.replica_id,
+            )
         self.state = ReplicaState.BUSY
         try:
             with obs.span(kernel, "replica.request", function=self.function,
@@ -85,7 +108,8 @@ class FunctionReplica:
                           technique=self.technique):
                 response = self.handle.invoke(request)
         finally:
-            self.state = ReplicaState.IDLE
+            if self.state is ReplicaState.BUSY:
+                self.state = ReplicaState.IDLE
         self.requests_served += 1
         self.last_active_ms = response.finished_ms
         obs.count(kernel, "replica_requests_total",
@@ -93,11 +117,24 @@ class FunctionReplica:
                           "technique": self.technique})
         # The request may have grown the heap past the container's
         # memory limit — the cgroup OOM killer fires here, as it would
-        # asynchronously in production.
-        if self.cgroup is not None and self.cgroup.enforce():
-            self.state = ReplicaState.TERMINATED
-            if self.allocation is not None:
-                self.allocation.release()
+        # asynchronously in production. The fault site models the same
+        # post-request kill without needing real memory growth.
+        oom_injected = (self.cgroup is not None and faults.should_fire(
+            kernel, faults.OOM_KILL,
+            detail=f"{self.function}/r{self.replica_id}"))
+        if oom_injected:
+            self.cgroup.oom_events.append(OomEvent(
+                cgroup=self.cgroup.name,
+                pid=self.handle.process.pid,
+                comm=self.handle.process.comm,
+                rss_mib=self.handle.process.rss_mib,
+                limit_mib=self.cgroup.limit_mib or 0.0,
+                at_ms=kernel.clock.now,
+            ))
+            obs.count(kernel, "replica_oom_kills_total",
+                      labels={"function": self.function})
+        if oom_injected or (self.cgroup is not None and self.cgroup.enforce()):
+            self.terminate()
         return response
 
     def idle_for_ms(self, now_ms: float) -> float:

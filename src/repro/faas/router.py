@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro import obs
 from repro.faas.deployer import FunctionDeployer
+from repro.faults.errors import CapacityExhausted, ReplicaCrashed, RequestTimeout
 from repro.osproc.kernel import Kernel
 from repro.runtime.base import Request, Response
 
@@ -29,6 +30,8 @@ class InvocationRecord:
     total_ms: float
     technique: str
     replica_id: int
+    requeues: int = 0         # capacity-exhausted waits before dispatch
+    crash_retries: int = 0    # re-dispatches after a replica crash
 
 
 @dataclass
@@ -48,29 +51,74 @@ class RouterStats:
 
 
 class FunctionRouter:
-    """Synchronous request router (one request at a time per replica)."""
+    """Synchronous request router (one request at a time per replica).
 
-    def __init__(self, kernel: Kernel, deployer: FunctionDeployer) -> None:
+    Resilience: when provisioning hits capacity the request is
+    *re-queued* (a simulated-time backoff, then another dispatch try)
+    instead of crashing the router; a replica that dies mid-request is
+    reaped and the request re-dispatched to a fresh replica; a request
+    that cannot be dispatched before ``request_timeout_ms`` of waiting
+    fails with a typed :class:`RequestTimeout`.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        deployer: FunctionDeployer,
+        requeue_backoff_ms: float = 5.0,
+        request_timeout_ms: float = 30_000.0,
+        max_crash_retries: int = 3,
+    ) -> None:
         self.kernel = kernel
         self.deployer = deployer
+        self.requeue_backoff_ms = requeue_backoff_ms
+        self.request_timeout_ms = request_timeout_ms
+        self.max_crash_retries = max_crash_retries
         self.stats = RouterStats()
 
     def route(self, function: str, request: Optional[Request] = None) -> Response:
         """Deliver one request, provisioning a replica if none is idle."""
         request = request or Request()
         arrived = self.kernel.clock.now
+        deadline = arrived + self.request_timeout_ms
+        cold = False
+        requeues = 0
+        crash_retries = 0
         with obs.span(self.kernel, "router.route", function=function,
                       request_id=request.request_id) as route_span:
-            replica = self.deployer.idle_replica(function)
-            cold = replica is None
-            if cold:
-                # Cold start: the request waits while the Deployer brings a
-                # replica up (Figure 1's execution flow).
-                replica = self.deployer.provision(function)
-            dispatched = self.kernel.clock.now
+            while True:
+                replica = self._acquire(function, deadline)
+                if replica is None:
+                    # Capacity stayed exhausted: wait out one backoff
+                    # and re-queue, unless the deadline has passed.
+                    requeues += 1
+                    obs.count(self.kernel, "router_requeued_total",
+                              labels={"function": function})
+                    if self.kernel.clock.now + self.requeue_backoff_ms > deadline:
+                        waited = self.kernel.clock.now - arrived
+                        obs.count(self.kernel, "router_timeouts_total",
+                                  labels={"function": function})
+                        raise RequestTimeout(
+                            f"request {request.request_id} for {function!r} "
+                            f"timed out after {waited:.1f} ms in queue",
+                            function=function, waited_ms=waited,
+                        )
+                    self.kernel.clock.advance(self.requeue_backoff_ms)
+                    continue
+                cold = cold or replica.provisioned_cold
+                dispatched = self.kernel.clock.now
+                try:
+                    response = replica.serve(request)
+                    break
+                except ReplicaCrashed:
+                    crash_retries += 1
+                    obs.count(self.kernel, "router_crash_retries_total",
+                              labels={"function": function})
+                    if crash_retries > self.max_crash_retries:
+                        raise
             route_span.set(cold_start=cold, replica_id=replica.replica_id,
-                           technique=replica.technique)
-            response = replica.serve(request)
+                           technique=replica.technique, requeues=requeues,
+                           crash_retries=crash_retries)
         record = InvocationRecord(
             function=function,
             cold_start=cold,
@@ -79,6 +127,8 @@ class FunctionRouter:
             total_ms=response.finished_ms - arrived,
             technique=replica.technique,
             replica_id=replica.replica_id,
+            requeues=requeues,
+            crash_retries=crash_retries,
         )
         self.stats.invocations += 1
         if cold:
@@ -93,3 +143,32 @@ class FunctionRouter:
         obs.observe(self.kernel, "router_request_total_ms", record.total_ms,
                     labels=labels)
         return response
+
+    def _acquire(self, function: str, deadline: float):
+        """One dispatch try: an idle healthy replica, or a fresh one.
+
+        Returns None when capacity is exhausted (the caller re-queues).
+        The returned replica is annotated with ``provisioned_cold`` so
+        the caller can attribute cold-start latency correctly across
+        re-dispatches.
+        """
+        replica = self.deployer.idle_replica(function)
+        if replica is not None and not replica.healthy:
+            # A stale idle entry whose process died under us: reap dead
+            # replicas for this function and look again.
+            self.deployer.health_check(function)
+            replica = self.deployer.idle_replica(function)
+        if replica is not None:
+            replica.provisioned_cold = False
+            return replica
+        try:
+            # Cold start: the request waits while the Deployer brings a
+            # replica up (Figure 1's execution flow).
+            replica = self.deployer.provision(function)
+        except CapacityExhausted:
+            # Reap any crashed replicas first — that may free a slot
+            # for the next try.
+            self.deployer.health_check(function)
+            return None
+        replica.provisioned_cold = True
+        return replica

@@ -1,0 +1,75 @@
+"""Typed platform failures.
+
+Every error the resilience machinery is expected to *survive* derives
+from :class:`PlatformError`, so platform layers can catch the family
+without swallowing genuine programming errors (``TypeError`` and
+friends still propagate). The hierarchy lives in :mod:`repro.faults`
+because it has no dependencies of its own — ``criu``, ``core`` and
+``faas`` all raise these without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class PlatformError(RuntimeError):
+    """Base class for recoverable platform-level failures.
+
+    Derives from ``RuntimeError`` so pre-existing call sites catching
+    the platform's old untyped errors keep working.
+    """
+
+
+class RestoreFailed(PlatformError):
+    """A snapshot restore did not produce a live process.
+
+    ``kind`` distinguishes outright failures from hangs that a watchdog
+    killed (both surface to the starter the same way: retry or fall
+    back to vanilla).
+    """
+
+    def __init__(self, message: str, image_id: str = "", kind: str = "fail") -> None:
+        super().__init__(message)
+        self.image_id = image_id
+        self.kind = kind
+
+
+class SnapshotCorrupted(PlatformError):
+    """A checkpoint image failed its content-digest integrity check."""
+
+    def __init__(self, message: str, image_id: str = "") -> None:
+        super().__init__(message)
+        self.image_id = image_id
+
+
+class ReplicaCrashed(PlatformError):
+    """A function replica died while a request was in flight."""
+
+    def __init__(self, message: str, function: str = "",
+                 replica_id: int = 0) -> None:
+        super().__init__(message)
+        self.function = function
+        self.replica_id = replica_id
+
+
+class ReplicaUnavailable(PlatformError):
+    """A replica was asked to serve while not in a servable state."""
+
+
+class CapacityExhausted(PlatformError):
+    """No replica slot is available (``max_replicas`` or node memory)."""
+
+    def __init__(self, message: str, function: str = "",
+                 max_replicas: int = 0) -> None:
+        super().__init__(message)
+        self.function = function
+        self.max_replicas = max_replicas
+
+
+class RequestTimeout(PlatformError):
+    """A queued request exceeded the router's dispatch deadline."""
+
+    def __init__(self, message: str, function: str = "",
+                 waited_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.function = function
+        self.waited_ms = waited_ms

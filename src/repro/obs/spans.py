@@ -67,6 +67,10 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self.status = "error"
+            # Record the exception type as its own tag so traces from
+            # fault-injected runs are filterable by failure class
+            # (e.g. error_type=RestoreFailed) without string parsing.
+            self.attributes.setdefault("error_type", exc_type.__name__)
             self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
         self.tracer.finish(self)
         return False

@@ -56,6 +56,9 @@ class Kernel:
         # Telemetry hub (repro.obs.Observability) or None; instrumented
         # code treats None as "telemetry off" and pays nothing.
         self.obs = None
+        # Fault injector (repro.faults.FaultInjector) or None; site
+        # checks treat None as "never fire" and draw no randomness.
+        self.faults = None
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
         self._tracees: Dict[int, int] = {}  # target pid -> tracer pid

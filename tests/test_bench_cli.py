@@ -40,6 +40,14 @@ class TestMain:
         assert main(["sec5"]) == 0
         assert "OpenFaaS" in capsys.readouterr().out
 
+    def test_run_chaos_is_deterministic(self, capsys):
+        assert main(["chaos", "-r", "10"]) == 0
+        first = capsys.readouterr().out
+        assert "Chaos recovery" in first
+        assert "fault schedule digest" in first
+        assert main(["chaos", "-r", "10"]) == 0
+        assert capsys.readouterr().out == first
+
     def test_all_known_experiments_have_runners(self):
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
