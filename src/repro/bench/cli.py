@@ -96,6 +96,14 @@ def _run_chaos(args) -> str:
     ).render()
 
 
+def _run_restore_sweep(args) -> str:
+    """Fig4 extension: EAGER/LAZY/WORKING_SET sweep + registry dedup."""
+    from repro.bench.restore_sweep import restore_sweep
+    return restore_sweep(
+        repetitions=max(10, args.repetitions // 4), seed=args.seed
+    ).render()
+
+
 def _run_trace(args) -> str:
     """Record full lifecycle traces for a few episodes and summarize.
 
@@ -132,6 +140,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-bake-timing": _run_ablation_bake_timing,
     "ext-runtimes": _run_ext_runtimes,
     "ext-pool": _run_ext_pool,
+    "restore-sweep": _run_restore_sweep,
     "chaos": _run_chaos,
     "trace": _run_trace,
 }

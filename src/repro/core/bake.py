@@ -22,6 +22,7 @@ from repro.core.starters import RUNTIME_BINARIES, launch_vanilla
 from repro.core.store import SnapshotKey, SnapshotStore
 from repro.criu.checkpoint import CheckpointEngine
 from repro.criu.images import CheckpointImage
+from repro.criu.imgdiff import diff_images
 from repro.functions.base import FunctionApp
 from repro.osproc.kernel import Kernel
 from repro.osproc.process import Process
@@ -97,9 +98,33 @@ class Prebaker:
                 policy=policy.key,
                 version=version,
             )
+            # Version-to-version image diff (repro.criu.imgdiff): how
+            # much of the previous version's snapshot the new one
+            # reuses — the delta a content-addressed registry ships.
+            if version > 1:
+                previous = self.store.peek(SnapshotKey(
+                    function=app.name, runtime_kind=app.runtime_kind,
+                    policy=policy.key, version=version - 1))
+                if previous is not None:
+                    diff = diff_images(previous, image)
+                    obs.gauge(kernel, "imgdiff_dedup_ratio",
+                              diff.dedup_ratio,
+                              labels={"function": app.name})
+                    obs.gauge(kernel, "imgdiff_delta_mib",
+                              diff.delta_bytes / (1024 * 1024),
+                              labels={"function": app.name})
             with obs.span(kernel, "snapshot.store", function=app.name,
                           image=image.image_id):
                 self.store.put(key, image, now_ms=kernel.clock.now)
+            # Registry-level dedup accounting after the put: logical is
+            # what monolithic storage would hold, physical what the
+            # content-addressed chunk store holds.
+            obs.gauge(kernel, "snapshot_store_dedup_ratio",
+                      self.store.dedup_ratio)
+            obs.gauge(kernel, "snapshot_store_logical_mib",
+                      self.store.logical_bytes / (1024 * 1024))
+            obs.gauge(kernel, "snapshot_store_physical_mib",
+                      self.store.physical_bytes / (1024 * 1024))
 
         duration = kernel.clock.now - started
         obs.count(kernel, "prebake_bake_total",

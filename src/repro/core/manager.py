@@ -86,6 +86,7 @@ class PrebakeManager:
         version: int = 1,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         fallback: bool = True,
+        repair: bool = True,
     ) -> Starter:
         """Build a starter for ``technique`` ("vanilla" | "prebake")."""
         if technique == "vanilla":
@@ -101,6 +102,7 @@ class PrebakeManager:
                 retry_policy=retry_policy,
                 fallback=fallback,
                 rebake=lambda app: self.rebake(app, policy, version),
+                repair=repair,
             )
         raise ValueError(f"unknown technique {technique!r}")
 

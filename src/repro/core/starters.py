@@ -158,6 +158,7 @@ class PrebakeStarter(Starter):
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         fallback: bool = True,
         rebake: Optional[Callable[[FunctionApp], object]] = None,
+        repair: bool = True,
     ) -> None:
         super().__init__(kernel)
         self.store = store
@@ -168,6 +169,10 @@ class PrebakeStarter(Starter):
         self.retry_policy = retry_policy
         self.fallback = fallback
         self.rebake = rebake
+        # Chunk-level repair from the content-addressed page store —
+        # cheaper than quarantine + rebake when the corruption sits in
+        # the page data; disable to force the legacy rebake-only path.
+        self.repair = repair
         self.restore_engine = RestoreEngine(kernel)
 
     def snapshot_key(self, app: FunctionApp) -> SnapshotKey:
@@ -194,14 +199,22 @@ class PrebakeStarter(Starter):
                 handle.spawned_at_ms = started_at
                 return handle
             except SnapshotCorrupted as exc:
-                # Quarantine the poisoned snapshot so no other replica
-                # restores it, then rebake a fresh one when we can.
+                failure = exc
+                # Corrupted page data can usually be rewritten from the
+                # content-addressed chunk store — far cheaper than a
+                # rebake and the key stays in circulation.
+                if self.repair and self._repair_snapshot(key, labels):
+                    obs.count(kernel, "prebake_restore_failures_total",
+                              labels={**labels,
+                                      "reason": type(failure).__name__})
+                    continue  # retry immediately; repair is registry-side
+                # Beyond repair: quarantine the poisoned snapshot so no
+                # other replica restores it, then rebake when we can.
                 self.store.quarantine(key)
                 obs.count(kernel, "prebake_snapshot_quarantined_total",
                           labels=labels)
                 if self.rebake is not None:
                     self.rebake(app)
-                failure = exc
             except RestoreFailed as exc:
                 failure = exc
             except SnapshotNotFound:
@@ -235,6 +248,27 @@ class PrebakeStarter(Starter):
             handle = launch_vanilla(kernel, app, parent=parent)
         handle.spawned_at_ms = started_at
         return handle
+
+    def _repair_snapshot(self, key: SnapshotKey, labels: dict) -> bool:
+        """Try a chunk-level repair of the stored image; True on success."""
+        kernel = self.kernel
+        repaired_chunks = self.store.repair(key)
+        if not repaired_chunks:
+            return False
+        image = self.store.peek(key)
+        if image is None:
+            return False
+        try:
+            image.verify_integrity()
+        except SnapshotCorrupted:
+            # The chunk store could not reproduce the sealed content
+            # (e.g. corruption predating the manifest); fall through to
+            # quarantine + rebake.
+            return False
+        obs.count(kernel, "prebake_snapshot_repaired_total", labels=labels)
+        obs.count(kernel, "snapshot_chunks_repaired_total",
+                  value=float(repaired_chunks), labels=labels)
+        return True
 
     def _start_from_image(self, app: FunctionApp, image: CheckpointImage,
                           parent: Optional[Process]) -> ReplicaHandle:

@@ -5,14 +5,29 @@ because all of them have the same state at the beginning of the
 execution" (§3.1). The store keys snapshots by (function, runtime,
 policy, version) and tracks restore counts and byte usage so platform
 operators can reason about registry growth.
+
+Storage is content-addressed: every stored image is decomposed into
+layered chunks in a shared :class:`~repro.criu.pagestore.PageStore`,
+so the registry's *physical* footprint grows sublinearly in function
+count when functions share a runtime base — ``logical_bytes`` is what
+monolithic storage would hold, ``physical_bytes`` what the chunk store
+actually holds, and ``dedup_ratio`` their quotient. The chunk payloads
+double as parity data: :meth:`repair` rewrites corrupted pages of an
+active image from the store instead of forcing a full rebake.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
-from repro.criu.images import CheckpointImage
+from repro.criu.images import CheckpointImage, build_image_files
+from repro.criu.pagestore import (
+    LayeredImage,
+    PageStore,
+    layer_image,
+    rebuild_vma_pages,
+)
 
 
 class SnapshotNotFound(KeyError):
@@ -41,16 +56,21 @@ class StoredSnapshot:
 
 
 class SnapshotStore:
-    """In-memory snapshot registry with usage accounting."""
+    """In-memory snapshot registry with content-addressed accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, page_store: Optional[PageStore] = None) -> None:
         self._snapshots: Dict[SnapshotKey, StoredSnapshot] = {}
         self._quarantined: List[StoredSnapshot] = []
+        self.pages = page_store if page_store is not None else PageStore()
+        self._layered: Dict[SnapshotKey, LayeredImage] = {}
 
     def put(self, key: SnapshotKey, image: CheckpointImage, now_ms: float = 0.0) -> None:
         """Store (or replace — new function version) a snapshot."""
         image.validate()
+        self._release_layers(key)
         self._snapshots[key] = StoredSnapshot(key=key, image=image, stored_at_ms=now_ms)
+        self._layered[key] = layer_image(image, self.pages,
+                                         base=self._delta_base(key, image))
 
     def get(self, key: SnapshotKey) -> CheckpointImage:
         entry = self._snapshots.get(key)
@@ -71,19 +91,22 @@ class SnapshotStore:
     def delete(self, key: SnapshotKey) -> None:
         if key not in self._snapshots:
             raise SnapshotNotFound(str(key))
+        self._release_layers(key)
         del self._snapshots[key]
 
     def quarantine(self, key: SnapshotKey) -> bool:
         """Pull a (corrupted) snapshot out of circulation.
 
         The entry is kept on a quarantine list for forensics rather
-        than deleted; returns whether anything was stored under the
-        key. Missing keys are tolerated — two replicas may race to
-        quarantine the same poisoned image.
+        than deleted (its chunk references are released — quarantined
+        bytes should not count as registry content); returns whether
+        anything was stored under the key. Missing keys are tolerated —
+        two replicas may race to quarantine the same poisoned image.
         """
         entry = self._snapshots.pop(key, None)
         if entry is None:
             return False
+        self._release_layers(key)
         self._quarantined.append(entry)
         return True
 
@@ -111,3 +134,120 @@ class SnapshotStore:
 
     def __len__(self) -> int:
         return len(self._snapshots)
+
+    # -- content-addressed layering ----------------------------------------------
+
+    def layered(self, key: SnapshotKey) -> Optional[LayeredImage]:
+        """The layer manifest of an active snapshot (None if absent)."""
+        return self._layered.get(key)
+
+    @property
+    def logical_bytes(self) -> int:
+        """Page bytes as monolithic storage would hold them."""
+        return sum(e.image.pages_bytes for e in self._snapshots.values())
+
+    @property
+    def physical_bytes(self) -> int:
+        """Distinct chunk bytes actually held by the page store."""
+        return self.pages.physical_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Cross-snapshot dedup factor (> 1 whenever content is shared)."""
+        physical = self.physical_bytes
+        return self.logical_bytes / physical if physical else 1.0
+
+    def materialize(self, key: SnapshotKey) -> CheckpointImage:
+        """Rebuild the stored image's page content purely from chunks.
+
+        What a registry pull does: descriptors come from the manifest,
+        page tags from the content-addressed chunks. The result is a
+        fresh image object carrying the original sealed digest, so any
+        chunk-store corruption would fail integrity verification.
+        """
+        entry = self._snapshots.get(key)
+        layered = self._layered.get(key)
+        if entry is None or layered is None:
+            raise SnapshotNotFound(str(key))
+        source = entry.image
+        rebuilt_pages = rebuild_vma_pages(source, layered, self.pages)
+        vmas = [
+            replace(vma,
+                    resident_indices=rebuilt_pages[i][0],
+                    content_tags=rebuilt_pages[i][1])
+            for i, vma in enumerate(source.vmas)
+        ]
+        image = CheckpointImage(
+            image_id=source.image_id,
+            pid=source.pid,
+            comm=source.comm,
+            argv=list(source.argv),
+            created_at_ms=source.created_at_ms,
+            namespace_ids=dict(source.namespace_ids),
+            vmas=vmas,
+            fds=list(source.fds),
+            runtime_state=source.runtime_state,
+            parent_image_id=source.parent_image_id,
+            warm=source.warm,
+            digest=source.digest,
+        )
+        build_image_files(image)
+        return image
+
+    def repair(self, key: SnapshotKey) -> int:
+        """Rewrite corrupted pages of an active image from the chunk store.
+
+        The layer manifest was built from the image as sealed at bake
+        time, so the chunk payloads are known-good parity data: any
+        chunk window whose current page content drifted from the store
+        is rewritten in place. Returns the number of chunks repaired —
+        0 means nothing differed (the corruption lies outside the page
+        data and only quarantine + rebake can recover).
+        """
+        entry = self._snapshots.get(key)
+        layered = self._layered.get(key)
+        if entry is None or layered is None:
+            return 0
+        image = entry.image
+        current: Dict[int, Dict[int, str]] = {
+            i: dict(zip(vma.resident_indices, vma.content_tags))
+            for i, vma in enumerate(image.vmas)
+        }
+        repaired_chunks = 0
+        for ref in layered.chunk_refs:
+            chunk = self.pages.chunk(ref.chunk_id)
+            pages = current[ref.vma_index]
+            if any(pages.get(ref.window_start + rel) != tag
+                   for rel, tag in chunk.pairs):
+                repaired_chunks += 1
+        if repaired_chunks == 0:
+            return 0
+        rebuilt_pages = rebuild_vma_pages(image, layered, self.pages)
+        for i, vma in enumerate(image.vmas):
+            indices, tags = rebuilt_pages[i]
+            if (tuple(vma.resident_indices), tuple(vma.content_tags)) != (indices, tags):
+                image.vmas[i] = replace(vma, resident_indices=indices,
+                                        content_tags=tags)
+        return repaired_chunks
+
+    # -- internals ---------------------------------------------------------------
+
+    def _release_layers(self, key: SnapshotKey) -> None:
+        layered = self._layered.pop(key, None)
+        if layered is None:
+            return
+        for cid in layered.chunk_ids:
+            self.pages.release(cid)
+
+    def _delta_base(self, key: SnapshotKey,
+                    image: CheckpointImage) -> Optional[CheckpointImage]:
+        """The ready-state sibling a warm image's delta layer diffs against."""
+        if not image.warm:
+            return None
+        for other_key, entry in self._snapshots.items():
+            if (other_key != key
+                    and other_key.function == key.function
+                    and other_key.runtime_kind == key.runtime_kind
+                    and not entry.image.warm):
+                return entry.image
+        return None

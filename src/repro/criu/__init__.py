@@ -16,6 +16,14 @@ from repro.criu.cli import CriuCli, CriuUnavailableError
 from repro.criu.migrate import MigrationReport, Migrator
 from repro.criu.serialize import deserialize_image, serialize_image
 from repro.criu.imgdiff import ImageDiff, diff_images
+from repro.criu.pagestore import (
+    CHUNK_PAGES,
+    LayeredImage,
+    PageStore,
+    layer_image,
+    rebuild_vma_pages,
+)
+from repro.criu.workingset import WorkingSetRecord, WorkingSetTracker
 
 __all__ = [
     "Migrator",
@@ -35,4 +43,11 @@ __all__ = [
     "RestoreMode",
     "CriuCli",
     "CriuUnavailableError",
+    "CHUNK_PAGES",
+    "PageStore",
+    "LayeredImage",
+    "layer_image",
+    "rebuild_vma_pages",
+    "WorkingSetRecord",
+    "WorkingSetTracker",
 ]

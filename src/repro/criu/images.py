@@ -182,18 +182,22 @@ class CheckpointImage:
                 image_id=self.image_id,
             )
 
-    def tamper(self) -> None:
+    def tamper(self, pages: int = 1, first_page: int = 0) -> None:
         """Corrupt the dumped page contents in place (fault injection).
 
-        Flips the content tag of the first resident page — the smallest
-        change that keeps :meth:`validate`'s structural checks passing
-        while the content digest no longer matches, exactly like a
-        flipped bit in ``pages-1.img``.
+        Flips the content tags of ``pages`` resident pages starting at
+        resident offset ``first_page`` in the first VMA that has any —
+        the smallest change that keeps :meth:`validate`'s structural
+        checks passing while the content digest no longer matches,
+        exactly like flipped bits in ``pages-1.img``. ``pages`` sized
+        to a page-store chunk models losing one registry chunk.
         """
         for index, vma in enumerate(self.vmas):
             if vma.content_tags:
                 tags = list(vma.content_tags)
-                tags[0] = tags[0] + "\x00corrupt"
+                start = min(first_page, len(tags) - 1)
+                for offset in range(start, min(start + pages, len(tags))):
+                    tags[offset] = tags[offset] + "\x00corrupt"
                 self.vmas[index] = replace(vma, content_tags=tuple(tags))
                 return
         self.comm = self.comm + "\x00corrupt"

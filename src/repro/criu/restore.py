@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro import faults, obs
 from repro.criu.images import CheckpointImage
+from repro.criu.workingset import WorkingSetRecord, WorkingSetTracker
 from repro.faults.errors import RestoreFailed, SnapshotCorrupted
 from repro.osproc.kernel import Kernel
 from repro.osproc.memory import VMAKind
@@ -30,21 +31,41 @@ class RestoreError(Exception):
 
 
 class RestoreMode(Enum):
-    EAGER = "eager"   # map and populate everything before resuming
-    LAZY = "lazy"     # resume early; fault remaining pages on first touch
+    EAGER = "eager"                # map and populate everything before resuming
+    LAZY = "lazy"                  # resume early; fault pages on first touch
+    WORKING_SET = "working-set"    # REAP: prefetch the recorded first-response
+                                   # set, lazily fault the (rarely touched) rest
 
-    # Fraction of the page-mapping cost paid up front in LAZY mode
-    # (hot pages criu always populates eagerly: stacks, parasite-adjacent).
-LAZY_EAGER_FRACTION = 0.15
+
+# Default fraction of the page-mapping cost paid up front in LAZY mode
+# (hot pages criu always populates eagerly: stacks, parasite-adjacent).
+# Tunable per engine via ``RestoreEngine(lazy_eager_fraction=...)``.
+DEFAULT_LAZY_EAGER_FRACTION = 0.15
+
+# Backward-compatible alias for the module-level constant.
+LAZY_EAGER_FRACTION = DEFAULT_LAZY_EAGER_FRACTION
 
 CRIU_BINARY = "/usr/sbin/criu"
 
 
 class RestoreEngine:
-    """Restores :class:`CheckpointImage` sets into live processes."""
+    """Restores :class:`CheckpointImage` sets into live processes.
 
-    def __init__(self, kernel: Kernel) -> None:
+    ``lazy_eager_fraction`` is the share of the page-population cost a
+    LAZY restore still pays before resuming (criu eagerly populates
+    stacks and parasite-adjacent pages even under lazy-pages); the
+    remainder becomes the ``lazy_restore_debt_ms`` charged to the first
+    request.
+    """
+
+    def __init__(self, kernel: Kernel,
+                 lazy_eager_fraction: float = DEFAULT_LAZY_EAGER_FRACTION) -> None:
+        if not 0.0 <= lazy_eager_fraction <= 1.0:
+            raise ValueError(
+                f"lazy_eager_fraction must be in [0, 1], got {lazy_eager_fraction}"
+            )
         self.kernel = kernel
+        self.lazy_eager_fraction = lazy_eager_fraction
         kernel.fs.ensure(CRIU_BINARY, size=5 * 1024 * 1024)
 
     def restore(
@@ -104,9 +125,18 @@ class RestoreEngine:
                 kernel.kill(proc.pid)
                 raise
 
+            # REAP working-set restores: look up the record before
+            # costing — its size determines the prefetched fraction.
+            tracker: Optional[WorkingSetTracker] = None
+            ws_record: Optional[WorkingSetRecord] = None
+            if mode is RestoreMode.WORKING_SET:
+                tracker = WorkingSetTracker.install(kernel)
+                ws_record = tracker.record_for(image)
+
             # Charge the restore work (page reads + remapping).
             duration = self._restore_duration(image, mode, in_memory,
-                                              duration_override_ms)
+                                              duration_override_ms,
+                                              ws_record=ws_record)
             if faults.should_fire(kernel, faults.IO_SLOW, detail=image.image_id):
                 # Slow storage under the image directory: the page
                 # reads pay the armed penalty on top of the model cost.
@@ -127,6 +157,19 @@ class RestoreEngine:
             runtime = proc.payload.get("runtime")
             if runtime is not None:
                 runtime.mark_restored()
+            if tracker is not None:
+                if ws_record is None:
+                    # First restore of this snapshot: record the pages
+                    # touched before the first post-restore response.
+                    tracker.begin_recording(proc, image)
+                    obs.count(kernel, "ws_restore_total",
+                              labels={"phase": "record"})
+                else:
+                    tracker.begin_prefetch(proc, image, ws_record)
+                    obs.count(kernel, "ws_restore_total",
+                              labels={"phase": "prefetch"})
+                    obs.gauge(kernel, "ws_prefetch_fraction",
+                              ws_record.fraction)
         obs.count(kernel, "criu_restore_total", labels={"mode": mode.value})
         obs.observe(kernel, "criu_restore_duration_ms", charged,
                     labels={"mode": mode.value})
@@ -168,6 +211,7 @@ class RestoreEngine:
         mode: RestoreMode,
         in_memory: bool,
         override_ms: Optional[float],
+        ws_record: Optional[WorkingSetRecord] = None,
     ) -> float:
         costs = self.kernel.costs
         full = costs.restore_cost(image.total_mib, override_ms)
@@ -179,7 +223,12 @@ class RestoreEngine:
             # No disk reads: the image is already resident [26].
             pages_part *= costs.restore_in_memory_factor
         if mode is RestoreMode.LAZY:
-            pages_part *= LAZY_EAGER_FRACTION
+            pages_part *= self.lazy_eager_fraction
+        elif mode is RestoreMode.WORKING_SET and ws_record is not None:
+            # Prefetch only the recorded working set; everything else
+            # is left to demand faults (charged per miss at first
+            # response — zero when the record is accurate).
+            pages_part *= ws_record.fraction
         return base + pages_part
 
     def _transmute(self, proc: Process, image: CheckpointImage) -> None:

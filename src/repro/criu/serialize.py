@@ -28,7 +28,10 @@ from repro.criu.images import (
 )
 
 MAGIC = b"CRIUREPR"
-VERSION = 1
+# v2 adds the sealed content digest to the header so integrity
+# verification survives archive round-trips; v1 blobs still decode.
+VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 _HEADER_LEN = struct.Struct(">I")
 _VERSION_STRUCT = struct.Struct(">H")
@@ -147,6 +150,7 @@ def serialize_image(image: CheckpointImage) -> bytes:
         "namespace_ids": image.namespace_ids,
         "parent_image_id": image.parent_image_id,
         "warm": image.warm,
+        "digest": image.digest,
         "vmas": [_vma_to_dict(v) for v in image.vmas],
         "fds": [_fd_to_dict(f) for f in image.fds],
         "runtime_state": _classes_to_jsonable(image.runtime_state),
@@ -169,7 +173,7 @@ def deserialize_image(blob: bytes) -> CheckpointImage:
         raise SerializationError("bad magic (not a serialized checkpoint)")
     offset = len(MAGIC)
     (version,) = _VERSION_STRUCT.unpack_from(blob, offset)
-    if version != VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise SerializationError(f"unsupported format version {version}")
     offset += _VERSION_STRUCT.size
     (length,) = _HEADER_LEN.unpack_from(blob, offset)
@@ -208,6 +212,7 @@ def deserialize_image(blob: bytes) -> CheckpointImage:
         runtime_state=runtime_state,
         parent_image_id=header["parent_image_id"],
         warm=header["warm"],
+        digest=header.get("digest"),  # absent in v1 blobs
     )
     build_image_files(image)
     image.validate()

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional
 
 from repro import obs
 from repro.core.manager import PrebakeManager
+from repro.core.store import SnapshotKey
 from repro.faas.registry import FunctionMetadata, FunctionRegistry
 from repro.faas.replica import FunctionReplica, ReplicaState
 from repro.faas.resources import ResourceManager
@@ -35,6 +36,10 @@ class FunctionDeployer:
         self.prebake_manager = prebake_manager
         self.cgroups = CgroupManager(kernel)
         self._replicas: Dict[str, List[FunctionReplica]] = {}
+        # Per-node cache of snapshot chunks already pulled: a replica
+        # landing on a node that has the function's (or a sibling's)
+        # layers pulls only the missing chunks, like any OCI runtime.
+        self._node_chunk_cache: Dict[str, set] = {}
 
     # -- provisioning --------------------------------------------------------------
 
@@ -69,12 +74,15 @@ class FunctionDeployer:
                 starter = self.prebake_manager.starter(
                     metadata.start_technique,
                     policy=metadata.snapshot_policy,
+                    restore_mode=metadata.restore_mode,
                     version=metadata.version,
                 )
                 handle = starter.start(app)
             except Exception:
                 allocation.release()
                 raise
+            if metadata.start_technique == "prebake":
+                self._account_layer_pull(metadata, allocation.node.name)
             # Confine the replica to a memory cgroup sized like its
             # container reservation (the OOM boundary in production).
             cgroup = self.cgroups.create(
@@ -93,6 +101,38 @@ class FunctionDeployer:
                   float(len(self._replicas[function])),
                   labels={"function": function})
         return replica
+
+    def _account_layer_pull(self, metadata: FunctionMetadata,
+                            node_name: str) -> None:
+        """Account the snapshot layer bytes this provision moved.
+
+        Pure byte accounting (transfer time is part of the container
+        provision cost): chunks already cached on the node — from a
+        previous replica of this function or any function sharing its
+        runtime base — are not re-pulled.
+        """
+        key = SnapshotKey(
+            function=metadata.name,
+            runtime_kind=metadata.runtime_kind,
+            policy=metadata.snapshot_policy.key,
+            version=metadata.version,
+        )
+        layered = self.prebake_manager.store.layered(key)
+        if layered is None:
+            return
+        cache = self._node_chunk_cache.setdefault(node_name, set())
+        pulled = cached = 0
+        for ref in layered.chunk_refs:
+            if ref.chunk_id in cache:
+                cached += ref.size_bytes
+            else:
+                cache.add(ref.chunk_id)
+                pulled += ref.size_bytes
+        labels = {"function": metadata.name}
+        obs.count(self.kernel, "deployer_layer_bytes_pulled_total",
+                  value=float(pulled), labels=labels)
+        obs.count(self.kernel, "deployer_layer_bytes_cached_total",
+                  value=float(cached), labels=labels)
 
     # -- bookkeeping -----------------------------------------------------------------
 

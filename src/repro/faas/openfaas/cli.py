@@ -119,7 +119,14 @@ class FaasCli:
                 app, policy=template.snapshot_policy(), version=project.version
             )
             layers.append(ImageLayer("criu-deps", self.CRIU_LAYER_BYTES))
-            layers.append(ImageLayer("criu-snapshot", report.image.total_bytes))
+            # The snapshot layer's digest is the checkpoint's sealed
+            # content digest: identical snapshots share a registry
+            # blob, distinct ones never collide on (name, size).
+            layers.append(ImageLayer(
+                "criu-snapshot", report.image.total_bytes,
+                digest=(f"sha256:{report.image.digest}"
+                        if report.image.digest else ""),
+            ))
             snapshot_key = report.key
             requires_privileged = True
         image = ContainerImage(

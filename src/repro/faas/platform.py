@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 from repro.core.manager import PrebakeManager
 from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.criu.restore import RestoreMode
 from repro.faas.autoscaler import Autoscaler, AutoscalerConfig
 from repro.faas.builder import BuildResult, FunctionBuilder
 from repro.faas.deployer import FunctionDeployer
@@ -74,6 +75,7 @@ class FaaSPlatform:
         app_factory: Callable[[], FunctionApp],
         start_technique: str = "vanilla",
         snapshot_policy: Optional[SnapshotPolicy] = None,
+        restore_mode: RestoreMode = RestoreMode.EAGER,
         max_replicas: int = 16,
         idle_timeout_ms: float = 60_000.0,
     ) -> FunctionMetadata:
@@ -91,6 +93,7 @@ class FaaSPlatform:
             app_factory=app_factory,
             start_technique=start_technique,
             snapshot_policy=snapshot_policy or AfterReady(),
+            restore_mode=restore_mode,
             max_replicas=max_replicas,
             idle_timeout_ms=idle_timeout_ms,
         )

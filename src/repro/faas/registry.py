@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.criu.restore import RestoreMode
 from repro.functions.base import FunctionApp
 
 
@@ -26,6 +27,7 @@ class FunctionMetadata:
     artifact_bytes: int = 0
     start_technique: str = "vanilla"          # "vanilla" | "prebake"
     snapshot_policy: SnapshotPolicy = field(default_factory=AfterReady)
+    restore_mode: RestoreMode = RestoreMode.EAGER
     max_replicas: int = 16
     idle_timeout_ms: float = 60_000.0
 

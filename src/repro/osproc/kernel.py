@@ -59,6 +59,10 @@ class Kernel:
         # Fault injector (repro.faults.FaultInjector) or None; site
         # checks treat None as "never fire" and draw no randomness.
         self.faults = None
+        # Working-set tracker (repro.criu.workingset.WorkingSetTracker)
+        # or None; installed lazily by the first WORKING_SET restore so
+        # eager-only worlds never pay for (or observe) it.
+        self.working_sets = None
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
         self._tracees: Dict[int, int] = {}  # target pid -> tracer pid

@@ -11,12 +11,24 @@ so snapshot/restore round-trips are verifiable.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
 PAGE_SIZE = 4096
 PAGES_PER_MIB = (1024 * 1024) // PAGE_SIZE
+
+
+def page_content_key(content_tag: str) -> str:
+    """Stable content identity of one page.
+
+    The model stores a small *content tag* instead of real page bytes;
+    hashing the tag gives the content-addressed identity a dedupling
+    page store keys on — two pages with equal tags are "the same page"
+    for storage purposes, exactly as equal 4 KiB blocks would be.
+    """
+    return hashlib.sha256(content_tag.encode("utf-8")).hexdigest()[:16]
 
 
 class MemoryError_(Exception):
@@ -43,6 +55,11 @@ class Page:
     content_tag: str = ""      # opaque identity used to verify round-trips
     dirty: bool = False
     soft_dirty: bool = False
+
+    @property
+    def content_key(self) -> str:
+        """Content-addressed identity (see :func:`page_content_key`)."""
+        return page_content_key(self.content_tag)
 
 
 @dataclass

@@ -144,6 +144,15 @@ class ManagedRuntime:
             self.kernel.probes.syscall_enter(
                 "runtime.first_response", self.process.pid, self.kernel.clock.now
             )
+        if self.process.payload.pop("ws_capture_pending", None):
+            # A working-set capture was armed on this restored replica
+            # (see repro.criu.workingset); warm snapshots resume with
+            # requests_served > 0, so this fires on the first
+            # *post-restore* response rather than the first ever.
+            self.kernel.probes.syscall_enter(
+                "runtime.post_restore_response", self.process.pid,
+                self.kernel.clock.now,
+            )
         return Response(
             status=status,
             body=body,

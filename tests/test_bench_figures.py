@@ -163,6 +163,7 @@ class TestSection5:
 
 
 class TestAblations:
+    @pytest.mark.slow
     def test_restore_ablation_ordering(self):
         result = ablation_restore(repetitions=8, seed=10)
         rows = {(f, v): m for f, v, m in result.rows}

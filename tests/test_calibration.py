@@ -11,6 +11,10 @@ from repro.bench.harness import run_startup_experiment
 from repro.bench.stats import mann_whitney_u
 from repro.core.policy import AfterReady, AfterWarmup
 
+# Every test here runs figure-scale simulations (seconds each); CI's
+# smoke job deselects them and a dedicated job runs the full suite.
+pytestmark = pytest.mark.slow
+
 REPS = 40  # enough for stable medians, fast enough for CI
 
 

@@ -42,6 +42,7 @@ class TestExamples:
         assert "47%" in result.stdout
         assert "<h1>Hello</h1>" in result.stdout
 
+    @pytest.mark.slow
     @pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX only")
     def test_real_process_demo_runs(self):
         result = run_example("real_process_demo.py", ["2"], timeout=300)

@@ -125,15 +125,33 @@ class TestRetryAndFallback:
 
 
 class TestQuarantineAndRebake:
-    def test_corruption_quarantines_and_rebakes(self):
+    def test_corruption_repairs_from_chunk_store(self):
         kernel, manager = observed_manager()
         app = make_app("noop")
         plan = FaultPlan(specs={IMAGE_CORRUPT: FaultSpec(
             IMAGE_CORRUPT, 1.0, max_fires=1)})
         starter = deployed_prebake_starter(kernel, manager, app, plan)
         handle = starter.start(app)
-        # The poisoned snapshot went to quarantine, a fresh bake
-        # replaced it, and the retry restored successfully.
+        # Page-level corruption is repaired in place from the
+        # content-addressed chunk store — no quarantine, no rebake.
+        assert handle.technique == "prebake"
+        assert manager.store.quarantined_count == 0
+        metrics = kernel.obs.metrics
+        assert metrics.value("prebake_snapshot_repaired_total") == 1
+        assert metrics.value("snapshot_chunks_repaired_total") >= 1
+        assert metrics.value("prebake_rebake_total") == 0
+        assert metrics.value("snapshot_corruption_detected_total") == 1
+
+    def test_corruption_quarantines_and_rebakes_without_repair(self):
+        kernel, manager = observed_manager()
+        app = make_app("noop")
+        plan = FaultPlan(specs={IMAGE_CORRUPT: FaultSpec(
+            IMAGE_CORRUPT, 1.0, max_fires=1)})
+        starter = deployed_prebake_starter(kernel, manager, app, plan,
+                                           repair=False)
+        handle = starter.start(app)
+        # With repair disabled the poisoned snapshot goes to
+        # quarantine, a fresh bake replaces it, and the retry restores.
         assert handle.technique == "prebake"
         assert manager.store.quarantined_count == 1
         metrics = kernel.obs.metrics

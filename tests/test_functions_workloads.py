@@ -98,6 +98,7 @@ class TestImageResizer:
         body, status = app.execute(None, Request())
         assert status == 500
 
+    @pytest.mark.slow
     def test_full_scale_resize_matches_paper_geometry(self):
         thumb = ImageResizerFunction.full_scale_resize()
         assert (thumb.width, thumb.height) == (344, 144)
