@@ -1,0 +1,375 @@
+"""Continuous-performance gate: recorded baselines + noise-aware compare.
+
+The paper's reproduced numbers (fig3 start-up medians, restore-sweep
+latencies, chaos recovery percentiles) are this repo's contract; the
+gate turns them into a ratchet. ``record`` runs a smoke-sized bench
+and writes a ``BENCH_<name>.json`` baseline — p50/p99/mean plus a
+bootstrap CI per metric, together with the seed and repetition count
+that produced them. ``compare`` re-runs the bench *at the baseline's
+recorded seed and size* and flags any metric that moved beyond a
+noise-aware threshold, exiting nonzero so CI fails the build.
+
+Everything here is deterministic: an identical-seed re-run reproduces
+the baseline bit-for-bit, so the tolerance only absorbs *intentional*
+model drift (cost-model recalibration) — silent regressions of 20% or
+more always trip.
+
+    PYTHONPATH=src python -m repro.bench.baseline record            # all benches
+    PYTHONPATH=src python -m repro.bench.baseline compare fig3      # gate one
+
+Exit codes: 0 clean, 2 regression detected, 3 usage/missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.report import format_table
+from repro.bench.stats import bootstrap_median_ci, quantile
+
+SCHEMA_VERSION = 1
+DEFAULT_DIR = "benchmarks/baselines"
+
+# Relative drift allowed before a metric counts as regressed. The
+# effective threshold per metric is max(tolerance, the baseline's own
+# relative CI half-width) capped at TOLERANCE_CAP — so noisy metrics
+# get headroom proportional to their measured noise, while nothing can
+# drift 20% without tripping the gate.
+DEFAULT_TOLERANCE = 0.10
+TOLERANCE_CAP = 0.15
+P99_TOLERANCE_FACTOR = 2.0  # tails are noisier than medians
+
+LOWER = "lower"    # smaller is better (latencies)
+HIGHER = "higher"  # bigger is better (success rates, dedup ratios)
+
+
+@dataclass
+class MetricBaseline:
+    """Recorded summary of one metric's distribution (or scalar)."""
+
+    p50: float
+    p99: float
+    mean: float
+    n: int
+    direction: str = LOWER
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "p50": self.p50, "p99": self.p99, "mean": self.mean,
+            "n": self.n, "direction": self.direction,
+            "ci_low": self.ci_low, "ci_high": self.ci_high,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "MetricBaseline":
+        return cls(
+            p50=float(record["p50"]), p99=float(record["p99"]),
+            mean=float(record["mean"]), n=int(record["n"]),
+            direction=str(record.get("direction", LOWER)),
+            ci_low=(None if record.get("ci_low") is None
+                    else float(record["ci_low"])),
+            ci_high=(None if record.get("ci_high") is None
+                     else float(record["ci_high"])),
+        )
+
+
+def metric_from_values(values: List[float],
+                       direction: str = LOWER) -> MetricBaseline:
+    """Distribution metric: quantiles plus a bootstrap CI on the median."""
+    ci = bootstrap_median_ci(values, seed=0)
+    return MetricBaseline(
+        p50=quantile(values, 0.5),
+        p99=quantile(values, 0.99),
+        mean=sum(values) / len(values),
+        n=len(values),
+        direction=direction,
+        ci_low=ci.low,
+        ci_high=ci.high,
+    )
+
+
+def scalar_metric(value: float, direction: str = LOWER) -> MetricBaseline:
+    """Point metric (already-aggregated bench output): p50 == value."""
+    return MetricBaseline(p50=value, p99=value, mean=value, n=1,
+                          direction=direction)
+
+
+# ---------------------------------------------------------------------------
+# Bench collectors — smoke-sized versions of the repo's contract benches
+# ---------------------------------------------------------------------------
+
+Metrics = Dict[str, MetricBaseline]
+
+
+def collect_fig3(repetitions: int, seed: int) -> Metrics:
+    """Start-up distributions per function/technique (Figure 3)."""
+    from repro.bench.figures import figure3
+    metrics: Metrics = {}
+    result = figure3(repetitions=repetitions, seed=seed)
+    for row in result.rows:
+        metrics[f"{row.function}/vanilla/startup_ms"] = \
+            metric_from_values(row.vanilla.values)
+        metrics[f"{row.function}/prebake/startup_ms"] = \
+            metric_from_values(row.prebake.values)
+        metrics[f"{row.function}/improvement_pct"] = \
+            scalar_metric(row.improvement_pct, direction=HIGHER)
+    return metrics
+
+
+def collect_restore_sweep(repetitions: int, seed: int) -> Metrics:
+    """Restore-mode latencies and registry dedup (Figure 4 extension)."""
+    from repro.bench.restore_sweep import restore_sweep
+    metrics: Metrics = {}
+    result = restore_sweep(repetitions=repetitions, seed=seed)
+    for row in result.rows:
+        prefix = row.function
+        metrics[f"{prefix}/eager_ms"] = scalar_metric(row.eager_ms)
+        metrics[f"{prefix}/lazy_ms"] = scalar_metric(row.lazy_ms)
+        metrics[f"{prefix}/lazy_first_response_ms"] = \
+            scalar_metric(row.lazy_first_response_ms)
+        metrics[f"{prefix}/ws_ms"] = scalar_metric(row.ws_ms)
+        metrics[f"{prefix}/ws_speedup_pct"] = \
+            scalar_metric(row.ws_speedup_pct, direction=HIGHER)
+    metrics["registry/dedup_ratio"] = \
+        scalar_metric(result.dedup_ratio, direction=HIGHER)
+    return metrics
+
+
+def collect_chaos(repetitions: int, seed: int) -> Metrics:
+    """Cold-start percentiles and success rates under faults."""
+    from repro.bench.chaos import chaos_experiment
+    metrics: Metrics = {}
+    result = chaos_experiment(repetitions=repetitions, seed=seed)
+    for t in result.treatments:
+        prefix = f"rate{t.fault_rate:g}/{t.technique}"
+        if t.cold_waits_ms:
+            metrics[f"{prefix}/cold_wait_ms"] = \
+                metric_from_values(t.cold_waits_ms)
+        metrics[f"{prefix}/success_rate"] = \
+            scalar_metric(t.success_rate, direction=HIGHER)
+    return metrics
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One gated bench: a collector plus its smoke-sized defaults."""
+
+    name: str
+    collect: Callable[[int, int], Metrics]
+    default_repetitions: int
+    default_seed: int = 42
+
+
+BENCHES: Dict[str, Bench] = {
+    "fig3": Bench("fig3", collect_fig3, default_repetitions=20),
+    "restore-sweep": Bench("restore-sweep", collect_restore_sweep,
+                           default_repetitions=20),
+    "chaos": Bench("chaos", collect_chaos, default_repetitions=10),
+}
+
+
+# ---------------------------------------------------------------------------
+# Record / load / compare
+# ---------------------------------------------------------------------------
+
+
+def baseline_path(directory: str, name: str) -> pathlib.Path:
+    return pathlib.Path(directory) / f"BENCH_{name.replace('-', '_')}.json"
+
+
+def record(name: str, directory: str = DEFAULT_DIR,
+           repetitions: Optional[int] = None,
+           seed: Optional[int] = None) -> pathlib.Path:
+    """Run one bench and write (or overwrite) its baseline file."""
+    bench = BENCHES[name]
+    repetitions = repetitions or bench.default_repetitions
+    seed = seed if seed is not None else bench.default_seed
+    metrics = bench.collect(repetitions, seed)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "seed": seed,
+        "repetitions": repetitions,
+        "metrics": {key: metrics[key].to_dict() for key in sorted(metrics)},
+    }
+    path = baseline_path(directory, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_baseline(path: pathlib.Path) -> Tuple[Dict[str, object], Metrics]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: baseline schema v{version}, expected v{SCHEMA_VERSION} "
+            "— regenerate with `python -m repro.bench.baseline record`"
+        )
+    metrics = {key: MetricBaseline.from_dict(record)
+               for key, record in payload["metrics"].items()}
+    return payload, metrics
+
+
+@dataclass
+class Regression:
+    """One metric that moved beyond its allowed envelope."""
+
+    metric: str
+    statistic: str          # "p50" or "p99"
+    baseline: float
+    current: float
+    change_pct: float       # signed, positive = worse
+    allowed_pct: float
+
+
+def _allowed_fraction(base: MetricBaseline, tolerance: float) -> float:
+    rel_ci = 0.0
+    if base.ci_low is not None and base.ci_high is not None and base.p50 > 0:
+        rel_ci = (base.ci_high - base.ci_low) / 2.0 / base.p50
+    return min(TOLERANCE_CAP, max(tolerance, rel_ci))
+
+
+def _check(metric: str, statistic: str, direction: str, base_value: float,
+           cur_value: float, allowed: float) -> Optional[Regression]:
+    if base_value <= 0:
+        return None  # no meaningful relative comparison
+    change = (cur_value - base_value) / base_value
+    worse = change if direction == LOWER else -change
+    if worse > allowed:
+        return Regression(
+            metric=metric, statistic=statistic,
+            baseline=base_value, current=cur_value,
+            change_pct=100.0 * worse, allowed_pct=100.0 * allowed,
+        )
+    return None
+
+
+def compare_metrics(baseline: Metrics, current: Metrics,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    ) -> Tuple[List[Regression], List[str]]:
+    """Regressions plus baseline metrics missing from the current run.
+
+    Metrics new in ``current`` are ignored (a growing bench is not a
+    regression); metrics that *disappeared* are reported as missing —
+    a gate must never pass because the measurement vanished.
+    """
+    regressions: List[Regression] = []
+    missing: List[str] = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        cur = current.get(key)
+        if cur is None:
+            missing.append(key)
+            continue
+        allowed = _allowed_fraction(base, tolerance)
+        hit = _check(key, "p50", base.direction, base.p50, cur.p50, allowed)
+        if hit:
+            regressions.append(hit)
+        if base.n > 1:
+            hit = _check(key, "p99", base.direction, base.p99, cur.p99,
+                         min(TOLERANCE_CAP * P99_TOLERANCE_FACTOR,
+                             allowed * P99_TOLERANCE_FACTOR))
+            if hit:
+                regressions.append(hit)
+    return regressions, missing
+
+
+def compare(name: str, directory: str = DEFAULT_DIR,
+            tolerance: float = DEFAULT_TOLERANCE,
+            ) -> Tuple[List[Regression], List[str], Metrics]:
+    """Re-run one bench at its baseline's seed/size and diff."""
+    path = baseline_path(directory, name)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no baseline at {path} — record it first with "
+            f"`python -m repro.bench.baseline record {name}`"
+        )
+    payload, baseline = load_baseline(path)
+    bench = BENCHES[name]
+    current = bench.collect(int(payload["repetitions"]), int(payload["seed"]))
+    regressions, missing = compare_metrics(baseline, current, tolerance)
+    return regressions, missing, current
+
+
+def render_regressions(name: str, regressions: List[Regression],
+                       missing: List[str]) -> str:
+    lines = []
+    if regressions:
+        lines.append(f"{name}: {len(regressions)} regression(s)")
+        lines.append(format_table(
+            ["metric", "stat", "baseline", "current", "worse by", "allowed"],
+            [[r.metric, r.statistic, f"{r.baseline:.3f}", f"{r.current:.3f}",
+              f"{r.change_pct:+.1f}%", f"{r.allowed_pct:.1f}%"]
+             for r in regressions],
+        ))
+    for key in missing:
+        lines.append(f"{name}: metric {key!r} missing from current run")
+    if not lines:
+        lines.append(f"{name}: OK")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.baseline",
+        description="Record or gate on performance baselines.",
+    )
+    parser.add_argument("mode", choices=("record", "compare"))
+    parser.add_argument("benches", nargs="*", metavar="bench",
+                        help=f"subset of {sorted(BENCHES)} (default: all)")
+    parser.add_argument("--dir", default=DEFAULT_DIR,
+                        help=f"baseline directory (default {DEFAULT_DIR})")
+    parser.add_argument("--repetitions", "-r", type=int, default=None,
+                        help="override repetitions when recording")
+    parser.add_argument("--seed", "-s", type=int, default=None,
+                        help="override seed when recording")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative drift allowed before failing "
+                             f"(default {DEFAULT_TOLERANCE})")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.benches or sorted(BENCHES)
+    unknown = [n for n in names if n not in BENCHES]
+    if unknown:
+        print(f"unknown bench(es): {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(BENCHES))}", file=sys.stderr)
+        return 3
+    if args.mode == "record":
+        for name in names:
+            path = record(name, directory=args.dir,
+                          repetitions=args.repetitions, seed=args.seed)
+            print(f"recorded {name} -> {path}")
+        return 0
+    failed = False
+    for name in names:
+        try:
+            regressions, missing, _ = compare(
+                name, directory=args.dir, tolerance=args.tolerance)
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 3
+        print(render_regressions(name, regressions, missing))
+        if regressions or missing:
+            failed = True
+    return 2 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

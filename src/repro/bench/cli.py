@@ -127,6 +127,36 @@ def _run_trace(args) -> str:
             f"{repetitions} rep(s) each\n" + summarize(sink))
 
 
+def _run_profile(args) -> str:
+    """Phase-level profile: flamegraph + critical-path table (§10)."""
+    from repro.bench.profile import (
+        run_profile_experiment,
+        write_folded,
+        write_profile_json,
+    )
+    from repro.obs.export import metrics_to_jsonl
+    from repro.obs.metrics import MetricsRegistry
+
+    # Registry names use hyphens ("image-resizer"); accept underscore
+    # spellings from the shell.
+    function = (args.function or "image-resizer").replace("_", "-")
+    repetitions = max(1, min(args.repetitions, 5))
+    metrics = MetricsRegistry() if args.metrics_out else None
+    result = run_profile_experiment(function, repetitions=repetitions,
+                                    seed=args.seed, metrics_sink=metrics)
+    if args.flame_out:
+        write_folded(args.flame_out, result)
+        log.info("profile.flame_written", file=args.flame_out)
+    if args.profile_out:
+        write_profile_json(args.profile_out, result)
+        log.info("profile.written", file=args.profile_out)
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_to_jsonl(metrics))
+        log.info("profile.metrics_written", file=args.metrics_out)
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -143,6 +173,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "restore-sweep": _run_restore_sweep,
     "chaos": _run_chaos,
     "trace": _run_trace,
+    "profile": _run_profile,
 }
 
 
@@ -160,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a JSONL lifecycle trace (fig4 and "
                              "trace experiments)")
+    parser.add_argument("--function", default=None, metavar="NAME",
+                        help="function to profile (profile experiment; "
+                             "default image-resizer)")
+    parser.add_argument("--flame-out", default=None, metavar="PATH",
+                        help="write folded-stack flamegraph lines "
+                             "(profile experiment)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="write the raw phase-profile JSON dump "
+                             "(profile experiment)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write merged metrics JSONL "
+                             "(profile experiment)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     return parser

@@ -149,6 +149,17 @@ def run_startup_experiment(
             phases=tracer.breakdown() if tracer else None,
         ))
         if trace_sink is not None:
+            # Tracer self-check: a clean episode leaves no span open.
+            # A leak here means an error path exited without closing
+            # its span (the bug class the context-manager discipline
+            # exists to prevent) — fail loudly rather than emit a
+            # trace with phantom unfinished spans.
+            leaked = kernel.obs.tracer.open_spans()
+            if leaked:
+                raise obs.SpanError(
+                    "span leak after repetition "
+                    f"{rep}: {', '.join(s.name for s in leaked)}"
+                )
             for span in kernel.obs.tracer.spans:
                 record = span.as_dict()
                 # Span/trace ids restart in every fresh world; qualify

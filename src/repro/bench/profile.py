@@ -1,0 +1,261 @@
+"""Phase-profile experiment: Figure 4's question, answered per request.
+
+Runs instrumented start-up episodes for both techniques with the
+:mod:`repro.obs.profile` profiler installed, checks the accounting
+invariant (the four top-level phases sum to the measured start-up
+time, restore sub-phases partition the restore charge), and renders
+
+* a folded-stack flamegraph (``technique;function;PHASE[;sub] <µs>``,
+  the format ``flamegraph.pl``/speedscope ingest directly), and
+* a per-technique critical-path table in the paper's CLONE / EXEC /
+  RTS / APPINIT taxonomy, restore sub-phases indented under APPINIT.
+
+The profiler is installed *after* deploy/bake so samples cover only
+the measured episode — the same window ``startup_ms`` measures.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro import make_world
+from repro.bench.report import format_table
+from repro.bench.stats import median
+from repro.core.manager import PrebakeManager
+from repro.core.policy import AfterReady, SnapshotPolicy
+from repro.criu.restore import RestoreMode
+from repro.functions.base import make_app
+from repro.obs import profile as prof
+from repro.obs.profile import PhaseSample
+from repro.sim.rng import _derive_seed
+
+PROFILE_SCHEMA_VERSION = 1
+
+# Float-exact phase recording means the per-episode accounting error is
+# pure summation round-off; anything past this bound is a real leak.
+ACCOUNTING_TOLERANCE_MS = 1e-6
+
+
+class ProfileAccountingError(AssertionError):
+    """Phase totals failed to sum to the measured start-up time."""
+
+
+@dataclass
+class ProfileRun:
+    """One profiled start-up episode."""
+
+    technique: str
+    function: str
+    rep: int
+    startup_ms: float
+    samples: List[PhaseSample] = field(default_factory=list)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Figure-4 accounting: restore.* folded into APPINIT."""
+        out = {phase: 0.0 for phase in prof.STARTUP_PHASES}
+        for sample in self.samples:
+            top = prof.phase_stack(sample.phase)[0]
+            out[top] = out.get(top, 0.0) + sample.duration_ms
+        return out
+
+    def accounting_error_ms(self) -> float:
+        return abs(sum(s.duration_ms for s in self.samples) - self.startup_ms)
+
+    def verify(self) -> None:
+        error = self.accounting_error_ms()
+        if error > ACCOUNTING_TOLERANCE_MS:
+            raise ProfileAccountingError(
+                f"{self.technique}/{self.function} rep {self.rep}: phases "
+                f"sum to {sum(s.duration_ms for s in self.samples):.6f} ms "
+                f"but start-up measured {self.startup_ms:.6f} ms "
+                f"(error {error:.2e} ms)"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "technique": self.technique,
+            "function": self.function,
+            "rep": self.rep,
+            "startup_ms": self.startup_ms,
+            "samples": [s.as_dict() for s in self.samples],
+        }
+
+
+@dataclass
+class ProfileResult:
+    """All profiled episodes of one function, both techniques."""
+
+    function: str
+    repetitions: int
+    seed: int
+    runs: List[ProfileRun] = field(default_factory=list)
+
+    def verify(self) -> None:
+        for run in self.runs:
+            run.verify()
+
+    def technique_runs(self, technique: str) -> List[ProfileRun]:
+        return [r for r in self.runs if r.technique == technique]
+
+    def folded(self) -> List[str]:
+        """Folded-stack lines aggregated over every profiled episode."""
+        lines: List[str] = []
+        by_prefix: Dict[str, List[PhaseSample]] = {}
+        for run in self.runs:
+            key = f"{run.technique};{run.function}"
+            by_prefix.setdefault(key, []).extend(run.samples)
+        for prefix in sorted(by_prefix):
+            lines.extend(prof.folded_lines(by_prefix[prefix], prefix=prefix))
+        return lines
+
+    def critical_path_table(self, technique: str) -> str:
+        """Mean-per-episode phase table; top-level rows sum to start-up."""
+        runs = self.technique_runs(technique)
+        if not runs:
+            raise ValueError(f"no runs for technique {technique!r}")
+        samples: List[PhaseSample] = []
+        for run in runs:
+            samples.extend(run.samples)
+        table_rows = []
+        for phase, ms, share in prof.critical_path_rows(samples):
+            table_rows.append([phase, f"{ms / len(runs):.3f}",
+                               f"{100.0 * share:.1f}%"])
+        return format_table(["phase", "mean ms/episode", "share"], table_rows)
+
+    def render(self) -> str:
+        lines = [
+            f"Phase profile — {self.function}, "
+            f"{self.repetitions} rep(s)/technique, seed {self.seed}",
+        ]
+        for technique in ("vanilla", "prebake"):
+            runs = self.technique_runs(technique)
+            if not runs:
+                continue
+            startup = median([r.startup_ms for r in runs])
+            worst = max(r.accounting_error_ms() for r in runs)
+            lines.append("")
+            lines.append(f"[{technique}] start-up median "
+                         f"{startup:.2f} ms — phase sums match start-up "
+                         f"in every episode (max error {worst:.1e} ms)")
+            lines.append(self.critical_path_table(technique))
+        lines.append("")
+        lines.append("Folded stacks (flamegraph.pl / speedscope):")
+        lines.extend(self.folded())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "function": self.function,
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+
+def result_from_dict(payload: Dict[str, object]) -> ProfileResult:
+    """Rebuild a :class:`ProfileResult` from its JSON dump."""
+    version = payload.get("schema_version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ValueError(f"profile dump schema v{version}, "
+                         f"expected v{PROFILE_SCHEMA_VERSION}")
+    result = ProfileResult(
+        function=str(payload["function"]),
+        repetitions=int(payload["repetitions"]),
+        seed=int(payload["seed"]),
+    )
+    for record in payload["runs"]:  # type: ignore[union-attr]
+        run = ProfileRun(
+            technique=str(record["technique"]),
+            function=str(record["function"]),
+            rep=int(record["rep"]),
+            startup_ms=float(record["startup_ms"]),
+        )
+        for s in record["samples"]:
+            run.samples.append(PhaseSample(
+                phase=str(s["phase"]),
+                duration_ms=float(s["duration_ms"]),
+                at_ms=float(s["at_ms"]),
+                pid=s.get("pid"),
+                attrs=dict(s.get("attrs") or {}),
+            ))
+        result.runs.append(run)
+    return result
+
+
+def run_profile_experiment(
+    function: str = "image-resizer",
+    repetitions: int = 5,
+    seed: int = 42,
+    techniques: Sequence[str] = ("vanilla", "prebake"),
+    policy: SnapshotPolicy = AfterReady(),
+    restore_mode: RestoreMode = RestoreMode.EAGER,
+    metrics_sink=None,
+) -> ProfileResult:
+    """Profile ``repetitions`` fresh-world start-ups per technique.
+
+    Every episode runs in its own world (harness protocol); the
+    profiler is installed after deploy so the sample window equals the
+    measured start-up window, and each run is verified against the
+    accounting invariant before being returned.
+
+    ``metrics_sink``, when given a :class:`MetricsRegistry`, receives
+    every episode world's metrics merged in (for ``--metrics-out``).
+    """
+    result = ProfileResult(function=function, repetitions=repetitions,
+                           seed=seed)
+    for technique in techniques:
+        for rep in range(repetitions):
+            world = make_world(
+                seed=_derive_seed(seed, f"profile-{technique}-{rep}"),
+                observe=True,
+            )
+            kernel = world.kernel
+            manager = PrebakeManager(kernel)
+            app = make_app(function)
+            if technique == "prebake":
+                manager.deploy(app, policy=policy)
+                starter = manager.starter(
+                    technique, policy=policy, restore_mode=restore_mode,
+                    version=manager.current_version(app.name),
+                )
+            else:
+                starter = manager.starter(technique)
+            profiler = prof.install(kernel)
+            handle = starter.start(app)
+            run = ProfileRun(
+                technique=technique,
+                function=app.name,
+                rep=rep,
+                # "ready" is the window the taxonomy partitions
+                # (DESIGN.md §7/§10); first-response metrics would add
+                # serve time the phases deliberately exclude.
+                startup_ms=handle.startup_ms("ready"),
+                samples=profiler.reset(),
+            )
+            run.verify()
+            result.runs.append(run)
+            prof.uninstall(kernel)
+            if metrics_sink is not None and kernel.obs is not None:
+                metrics_sink.merge(kernel.obs.metrics)
+    return result
+
+
+def write_profile_json(path, result: ProfileResult) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_profile_json(path) -> ProfileResult:
+    return result_from_dict(
+        json.loads(pathlib.Path(path).read_text(encoding="utf-8")))
+
+
+def write_folded(path, result: ProfileResult) -> None:
+    pathlib.Path(path).write_text(
+        "\n".join(result.folded()) + "\n", encoding="utf-8")

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import faults, obs
+from repro.obs.profile import RESTORE_BACKOFF, RESTORE_REPAIR
 from repro.core.policy import AfterReady, SnapshotPolicy
 from repro.core.store import SnapshotKey, SnapshotNotFound, SnapshotStore
 from repro.criu.images import CheckpointImage
@@ -52,7 +53,8 @@ class ReplicaHandle:
         request = request or Request()
         request.arrival_ms = kernel.clock.now
         first = self.first_response_at_ms is None
-        with obs.span(kernel, "replica.serve", technique=self.technique,
+        with obs.span(kernel, "replica.serve", context=request.trace,
+                      technique=self.technique,
                       request_id=request.request_id, first_request=first):
             response = self.runtime.handle(request)
         if first:
@@ -235,6 +237,10 @@ class PrebakeStarter(Starter):
                             labels=labels)
                 obs.count(kernel, "prebake_restore_retries_total", labels=labels)
                 kernel.clock.advance(backoff)
+                if kernel.profile is not None:
+                    kernel.profile.record(RESTORE_BACKOFF, backoff,
+                                          attempt=attempt,
+                                          function=app.name)
         if failure is None:
             failure = StartError(
                 f"prebake start of {app.name!r} exhausted "
@@ -252,7 +258,16 @@ class PrebakeStarter(Starter):
     def _repair_snapshot(self, key: SnapshotKey, labels: dict) -> bool:
         """Try a chunk-level repair of the stored image; True on success."""
         kernel = self.kernel
+        repair_start = kernel.clock.now
         repaired_chunks = self.store.repair(key)
+        if repaired_chunks and kernel.profile is not None:
+            # Registry-side chunk rewrites are free on the simulated
+            # clock today; the zero-duration sample still puts the
+            # repair on the critical-path ledger (count + chunks).
+            kernel.profile.record(RESTORE_REPAIR,
+                                  kernel.clock.now - repair_start,
+                                  chunks=repaired_chunks,
+                                  function=key.function)
         if not repaired_chunks:
             return False
         image = self.store.peek(key)

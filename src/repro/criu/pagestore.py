@@ -236,6 +236,21 @@ class PageStore:
 # Layering
 # ---------------------------------------------------------------------------
 
+def image_chunk_count(image: CheckpointImage,
+                      chunk_pages: int = CHUNK_PAGES) -> int:
+    """Number of content-addressed chunk windows ``image`` spans.
+
+    The unit the restore profiler reports chunk-fetch work in: an
+    eager restore materializes every window, whatever fraction of
+    them dedup to already-resident chunks. Pure bookkeeping — no
+    simulated time, no RNG.
+    """
+    return sum(
+        sum(1 for _ in _windows(vma, chunk_pages))
+        for vma in image.vmas
+    )
+
+
 def _windows(vma: VMADescriptor,
              chunk_pages: int) -> Iterable[Tuple[int, List[Tuple[int, str]]]]:
     """Yield (window_start, [(relative index, tag), ...]) per chunk."""

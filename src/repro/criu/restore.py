@@ -19,8 +19,14 @@ from typing import Optional
 
 from repro import faults, obs
 from repro.criu.images import CheckpointImage
+from repro.criu.pagestore import image_chunk_count
 from repro.criu.workingset import WorkingSetRecord, WorkingSetTracker
 from repro.faults.errors import RestoreFailed, SnapshotCorrupted
+from repro.obs.profile import (
+    RESTORE_CHUNK_FETCH,
+    RESTORE_DIGEST_VERIFY,
+    RESTORE_WS_PREFETCH,
+)
 from repro.osproc.kernel import Kernel
 from repro.osproc.memory import VMAKind
 from repro.osproc.process import Capability, Process, ProcessState
@@ -137,13 +143,19 @@ class RestoreEngine:
             duration = self._restore_duration(image, mode, in_memory,
                                               duration_override_ms,
                                               ws_record=ws_record)
+            extra_ms = 0.0
             if faults.should_fire(kernel, faults.IO_SLOW, detail=image.image_id):
                 # Slow storage under the image directory: the page
                 # reads pay the armed penalty on top of the model cost.
-                duration += faults.extra_delay_ms(kernel, faults.IO_SLOW)
+                extra_ms = faults.extra_delay_ms(kernel, faults.IO_SLOW)
+                duration += extra_ms
             charged = kernel.costs.jitter(duration, kernel.streams,
                                           "criu.restore")
             kernel.clock.advance(charged)
+            if kernel.profile is not None:
+                self._record_restore_phases(
+                    proc, image, mode, in_memory, duration_override_ms,
+                    ws_record, extra_ms, duration, charged)
             if mode is RestoreMode.LAZY:
                 full = kernel.costs.restore_cost(image.total_mib,
                                                  duration_override_ms)
@@ -197,6 +209,11 @@ class RestoreEngine:
         if faults.should_fire(kernel, faults.RESTORE_HANG, detail=image.image_id):
             hang_ms = faults.extra_delay_ms(kernel, faults.RESTORE_HANG)
             kernel.clock.advance(hang_ms)
+            if kernel.profile is not None:
+                # The burned watchdog window is page-fetch work that
+                # never completed; keep it on the start-up ledger.
+                kernel.profile.record(RESTORE_CHUNK_FETCH, hang_ms,
+                                      pid=proc.pid, reason="hang")
             obs.count(kernel, "criu_restore_failures_total",
                       labels={"reason": "hang"})
             raise RestoreFailed(
@@ -230,6 +247,61 @@ class RestoreEngine:
             # response — zero when the record is accurate).
             pages_part *= ws_record.fraction
         return base + pages_part
+
+    def _record_restore_phases(
+        self,
+        proc: Process,
+        image: CheckpointImage,
+        mode: RestoreMode,
+        in_memory: bool,
+        override_ms: Optional[float],
+        ws_record: Optional[WorkingSetRecord],
+        extra_ms: float,
+        duration: float,
+        charged: float,
+    ) -> None:
+        """Attribute the jittered restore charge to restore sub-phases.
+
+        Mirrors the :meth:`_restore_duration` cost split (base →
+        digest-verify, page population → chunk-fetch or working-set
+        prefetch, injected io.slow penalty → chunk-fetch), then scales
+        every part by ``charged / duration`` — with the last part as
+        the remainder — so the recorded sub-phases sum to the jittered
+        charge *exactly*, never to the pre-jitter model cost.
+        """
+        costs = self.kernel.costs
+        full = costs.restore_cost(image.total_mib, override_ms)
+        base = min(costs.restore_base_ms, full)
+        pages_part = full - base
+        if in_memory:
+            pages_part *= costs.restore_in_memory_factor
+        if mode is RestoreMode.LAZY:
+            pages_part *= self.lazy_eager_fraction
+        elif mode is RestoreMode.WORKING_SET and ws_record is not None:
+            pages_part *= ws_record.fraction
+        parts = [(RESTORE_DIGEST_VERIFY, base, {"image": image.image_id})]
+        if mode is RestoreMode.WORKING_SET and ws_record is not None:
+            parts.append((RESTORE_WS_PREFETCH, pages_part,
+                          {"pages": ws_record.page_count,
+                           "fraction": round(ws_record.fraction, 4)}))
+        else:
+            parts.append((RESTORE_CHUNK_FETCH, pages_part,
+                          {"chunks": image_chunk_count(image),
+                           "in_memory": in_memory}))
+        if extra_ms:
+            parts.append((RESTORE_CHUNK_FETCH, extra_ms,
+                          {"reason": "io-slow"}))
+        profiler = self.kernel.profile
+        scale = charged / duration if duration else 0.0
+        recorded = 0.0
+        for position, (phase, part_ms, attrs) in enumerate(parts):
+            if position == len(parts) - 1:
+                scaled = charged - recorded
+            else:
+                scaled = part_ms * scale
+            recorded += scaled
+            profiler.record(phase, scaled, pid=proc.pid,
+                            mode=mode.value, **attrs)
 
     def _transmute(self, proc: Process, image: CheckpointImage) -> None:
         """Rebuild namespaces, files and memory inside ``proc``."""

@@ -161,7 +161,12 @@ class WorkingSetTracker:
             obs.gauge(kernel, "ws_prefetch_hit_ratio",
                       hits / len(touched))
         if misses:
-            kernel.clock.advance(len(misses) * PREFETCH_MISS_FAULT_MS)
+            fault_ms = len(misses) * PREFETCH_MISS_FAULT_MS
+            kernel.clock.advance(fault_ms)
+            if kernel.profile is not None:
+                kernel.profile.record("restore.lazy-page-fault", fault_ms,
+                                      pid=proc.pid, pages=len(misses),
+                                      source="prefetch-miss")
             self.records[capture.image_key] = WorkingSetRecord(
                 image_key=record.image_key,
                 pages=record.pages | misses,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.core.policy import policy_from_key
 from repro.core.starters import PrebakeStarter, VanillaStarter
 from repro.core.store import SnapshotStore
@@ -130,20 +131,31 @@ class Gateway:
         deployed = self._services.get(service)
         if deployed is None:
             raise GatewayError(f"service {service!r} is not deployed")
-        self.prometheus.inc("gateway_function_invocation_total",
-                            labels={"function": service})
-        replicas = deployed.live_replicas()
-        if not replicas:
-            self.prometheus.set_gauge("gateway_pending_requests", 1.0,
-                                      labels={"function": service})
-            replica = self._add_replica(deployed)
-            self.prometheus.set_gauge("gateway_pending_requests", 0.0,
-                                      labels={"function": service})
-            self.prometheus.inc("gateway_cold_start_total",
+        request = request or Request()
+        with obs.span(self.kernel, "gateway.invoke", function=service,
+                      request_id=request.request_id,
+                      context=request.trace) as invoke_span:
+            # The gateway is the platform entry point: mint the causal
+            # trace here so provisioning, restore, and serving all
+            # attach to this request's tree. (NullSpan.context is None,
+            # so unobserved worlds stay bare.)
+            if request.trace is None:
+                request.trace = invoke_span.context
+            self.prometheus.inc("gateway_function_invocation_total",
                                 labels={"function": service})
-        else:
-            replica = replicas[0]
-        response = replica.watchdog.forward(request)
+            replicas = deployed.live_replicas()
+            if not replicas:
+                self.prometheus.set_gauge("gateway_pending_requests", 1.0,
+                                          labels={"function": service})
+                replica = self._add_replica(deployed)
+                self.prometheus.set_gauge("gateway_pending_requests", 0.0,
+                                          labels={"function": service})
+                self.prometheus.inc("gateway_cold_start_total",
+                                    labels={"function": service})
+                invoke_span.set(cold_start=True)
+            else:
+                replica = replicas[0]
+            response = replica.watchdog.forward(request)
         self._record_latency(service, response.service_ms)
         self.prometheus.observe("gateway_service_duration_ms",
                                 response.service_ms,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLO
 
 LabelSet = Tuple[Tuple[str, str], ...]
 
@@ -55,6 +56,7 @@ class PrometheusLite:
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._rules: List[AlertRule] = []
+        self._slos: List[Tuple[SLO, float]] = []  # (slo, burn threshold)
         self._subscribers: List[Callable[[Alert], None]] = []
         self.fired: List[Alert] = []
 
@@ -83,18 +85,41 @@ class PrometheusLite:
     def add_rule(self, rule: AlertRule) -> None:
         self._rules.append(rule)
 
+    def add_slo(self, slo: SLO, burn_threshold: float = 1.0) -> None:
+        """Register an SLO; :meth:`evaluate` fires an alert whenever
+        its burn rate exceeds ``burn_threshold`` (1.0 = the error
+        budget is being spent exactly as fast as allowed)."""
+        if burn_threshold <= 0:
+            raise ValueError("burn threshold must be positive")
+        self._slos.append((slo, burn_threshold))
+
     def subscribe(self, callback: Callable[[Alert], None]) -> None:
         self._subscribers.append(callback)
 
+    def _fire(self, rule: AlertRule, value: float, now_ms: float) -> Alert:
+        alert = Alert(rule=rule, value=value, at_ms=now_ms)
+        self.fired.append(alert)
+        for subscriber in self._subscribers:
+            subscriber(alert)
+        return alert
+
     def evaluate(self, now_ms: float = 0.0) -> List[Alert]:
-        """Evaluate every rule; fire and deliver alerts that trip."""
+        """Evaluate every rule and SLO; fire and deliver alerts that trip."""
         alerts = []
         for rule in self._rules:
             value = self.value(rule.metric, rule.labels)
             if rule.evaluate(value):
-                alert = Alert(rule=rule, value=value, at_ms=now_ms)
-                alerts.append(alert)
-                self.fired.append(alert)
-                for subscriber in self._subscribers:
-                    subscriber(alert)
+                alerts.append(self._fire(rule, value, now_ms))
+        for slo, burn_threshold in self._slos:
+            burn = slo.burn_rate(self.registry)
+            if burn is not None and burn > burn_threshold:
+                # A synthetic rule describes the burn-rate condition so
+                # subscribers handle SLO alerts like any threshold alert.
+                rule = AlertRule(
+                    name=f"slo:{slo.name}",
+                    metric=f"burn_rate({slo.metric})",
+                    threshold=burn_threshold,
+                    labels=dict(slo.labels),
+                )
+                alerts.append(self._fire(rule, burn, now_ms))
         return alerts

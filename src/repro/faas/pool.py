@@ -152,8 +152,14 @@ class WarmPool:
               release: bool = True) -> Response:
         """Take a replica, serve one request, and (optionally) return
         the replica to the pool afterwards."""
+        request = request or Request()
+        # Join whatever trace is active at the seam (router or harness)
+        # so the replica's serve span lands in the caller's tree even
+        # if it runs outside this call stack later.
+        if request.trace is None:
+            request.trace = obs.current_context(self.kernel)
         handle = self.take()
-        response = handle.invoke(request or Request())
+        response = handle.invoke(request)
         if release:
             self.release(handle)
         return response

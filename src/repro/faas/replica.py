@@ -103,7 +103,8 @@ class FunctionReplica:
             )
         self.state = ReplicaState.BUSY
         try:
-            with obs.span(kernel, "replica.request", function=self.function,
+            with obs.span(kernel, "replica.request", context=request.trace,
+                          function=self.function,
                           replica_id=self.replica_id,
                           technique=self.technique):
                 response = self.handle.invoke(request)

@@ -85,7 +85,15 @@ class FunctionRouter:
         requeues = 0
         crash_retries = 0
         with obs.span(self.kernel, "router.route", function=function,
-                      request_id=request.request_id) as route_span:
+                      request_id=request.request_id,
+                      context=request.trace) as route_span:
+            # Mint the causal trace handle here if nothing upstream
+            # (the gateway) already did; everything the request causes
+            # downstream — provisioning, restore, serving — joins this
+            # trace even when it runs outside this call stack.
+            # (NullSpan.context is None, so unobserved worlds stay bare.)
+            if request.trace is None:
+                request.trace = route_span.context
             while True:
                 replica = self._acquire(function, deadline)
                 if replica is None:
@@ -135,13 +143,16 @@ class FunctionRouter:
             self.stats.cold_starts += 1
         self.stats.records.append(record)
         labels = {"function": function, "technique": replica.technique}
+        # These land after route_span closed, so the span stack can no
+        # longer supply the exemplar — link the buckets explicitly.
+        exemplar = request.trace.trace_id if request.trace else None
         obs.count(self.kernel, "router_invocations_total", labels=labels)
         if cold:
             obs.count(self.kernel, "router_cold_starts_total", labels=labels)
             obs.observe(self.kernel, "router_cold_start_wait_ms",
-                        record.queued_ms, labels=labels)
+                        record.queued_ms, labels=labels, exemplar=exemplar)
         obs.observe(self.kernel, "router_request_total_ms", record.total_ms,
-                    labels=labels)
+                    labels=labels, exemplar=exemplar)
         return response
 
     def _acquire(self, function: str, deadline: float):

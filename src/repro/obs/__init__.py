@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.obs import export  # re-exported for `obs.export.*` call sites
+from repro.obs.context import TraceContext
 from repro.obs.log import StructuredLogger, get_logger
 from repro.obs.metrics import Histogram, MetricsError, MetricsRegistry
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanError, Tracer
@@ -57,12 +58,25 @@ def uninstall(kernel) -> None:
 # Hot paths call these with their kernel; a world without an installed
 # hub takes the early-out branch.
 
-def span(kernel, name: str, **attributes: object) -> Union[Span, NullSpan]:
-    """Open a span on the world's tracer (no-op span when unobserved)."""
+def span(kernel, name: str, context: Optional[TraceContext] = None,
+         **attributes: object) -> Union[Span, NullSpan]:
+    """Open a span on the world's tracer (no-op span when unobserved).
+
+    ``context`` joins an existing trace when the span stack cannot
+    supply the causal parent (see :meth:`Tracer.span`).
+    """
     hub = kernel.obs
     if hub is None:
         return NULL_SPAN
-    return hub.tracer.span(name, **attributes)
+    return hub.tracer.span(name, context=context, **attributes)
+
+
+def current_context(kernel) -> Optional[TraceContext]:
+    """Propagation handle of the innermost active span, if observed."""
+    hub = kernel.obs
+    if hub is None:
+        return None
+    return hub.tracer.current_context()
 
 
 def count(kernel, name: str, value: float = 1.0,
@@ -80,10 +94,16 @@ def gauge(kernel, name: str, value: float,
 
 
 def observe(kernel, name: str, value: float,
-            labels: Optional[Dict[str, str]] = None) -> None:
+            labels: Optional[Dict[str, str]] = None,
+            exemplar: Optional[str] = None) -> None:
+    """Record a histogram observation; the exemplar defaults to the
+    trace id of the innermost active span, linking the latency bucket
+    back to the causal span tree."""
     hub = kernel.obs
     if hub is not None:
-        hub.metrics.observe(name, value, labels)
+        if exemplar is None:
+            exemplar = hub.tracer.current_trace_id()
+        hub.metrics.observe(name, value, labels, exemplar=exemplar)
 
 
 __all__ = [
@@ -94,6 +114,8 @@ __all__ = [
     "count",
     "gauge",
     "observe",
+    "current_context",
+    "TraceContext",
     "Span",
     "SpanError",
     "NullSpan",

@@ -1,11 +1,20 @@
-"""``python -m repro.obs.cli`` — summarize a JSONL trace dump.
+"""``python -m repro.obs.cli`` — inspect recorded telemetry offline.
 
 Default output is a per-span-name stage table (count, total, mean,
 p50/p95, max — exact percentiles, the trace has every sample);
-``--tree`` prints the nested spans of one trace instead.
+``--tree`` prints the nested spans of one trace instead. Two
+subcommands audit other recorded artifacts:
 
     python -m repro.obs.cli trace.jsonl
     python -m repro.obs.cli trace.jsonl --tree --trace t-0001
+    python -m repro.obs.cli alerts metrics.jsonl     # SLO burn rates
+    python -m repro.obs.cli profile profile.json     # phase breakdown
+
+``alerts`` reconstructs a metrics registry from a JSONL dump and
+evaluates the stack's SLO contract against it — exit 1 when any SLO
+is breached, so recorded runs can gate in CI. ``profile`` re-renders
+the critical-path table and folded stacks from a ``prebake-bench
+profile --profile-out`` dump.
 """
 
 from __future__ import annotations
@@ -114,6 +123,72 @@ def render_tree(records: List[SpanRecord], trace_id: Optional[str] = None) -> st
     return "\n".join(lines)
 
 
+def alerts_main(argv: List[str]) -> int:
+    """Evaluate the SLO contract against a recorded metrics dump."""
+    from repro.obs.export import registry_from_jsonl
+    from repro.obs.slo import evaluate_slos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.cli alerts",
+        description="Evaluate SLO burn rates over a metrics JSONL dump.",
+    )
+    parser.add_argument("metrics_file", help="metrics JSONL file (- for stdin)")
+    args = parser.parse_args(argv)
+    try:
+        if args.metrics_file == "-":
+            registry = registry_from_jsonl(sys.stdin.read())
+        else:
+            registry = registry_from_jsonl(pathlib.Path(args.metrics_file))
+    except (OSError, ValueError) as exc:
+        log.error("metrics.unreadable", file=args.metrics_file,
+                  reason=str(exc))
+        return 2
+    rows = []
+    breached = False
+    for status in evaluate_slos(registry):
+        if status.bad_fraction is None:
+            verdict, bad, burn = "no data", "-", "-"
+        else:
+            verdict = "BREACH" if status.breached else "ok"
+            breached = breached or status.breached
+            bad = f"{status.bad_fraction:.4f}"
+            burn = f"{status.burn_rate:.2f}"
+        rows.append([status.slo.name, f"{status.slo.objective:.2%}",
+                     bad, burn, verdict])
+    print(format_table(
+        ["slo", "objective", "bad fraction", "burn rate", "status"], rows))
+    return 1 if breached else 0
+
+
+def profile_main(argv: List[str]) -> int:
+    """Re-render a phase-profile dump (critical path + folded stacks)."""
+    from repro.bench.profile import load_profile_json, result_from_dict
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.cli profile",
+        description="Render a phase-profile JSON dump.",
+    )
+    parser.add_argument("profile_file", help="profile JSON (- for stdin)")
+    parser.add_argument("--flame", action="store_true",
+                        help="print only the folded flamegraph stacks")
+    args = parser.parse_args(argv)
+    try:
+        if args.profile_file == "-":
+            import json
+            result = result_from_dict(json.loads(sys.stdin.read()))
+        else:
+            result = load_profile_json(args.profile_file)
+    except (OSError, ValueError, KeyError) as exc:
+        log.error("profile.unreadable", file=args.profile_file,
+                  reason=str(exc))
+        return 2
+    if args.flame:
+        print("\n".join(result.folded()))
+    else:
+        print(result.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.cli",
@@ -128,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch; the bare form stays the trace summarizer so
+    # existing `python -m repro.obs.cli trace.jsonl` invocations hold.
+    if argv and argv[0] == "alerts":
+        return alerts_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.trace_file == "-":

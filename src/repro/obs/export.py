@@ -75,6 +75,23 @@ def _summary_lines(name: str, series: Dict[LabelSet, object],
     return sorted(lines)
 
 
+def _exemplar_lines(name: str, series: Dict[LabelSet, object]) -> List[str]:
+    # Exemplars ride as comment lines so parse_prometheus (which skips
+    # "#") round-trips untouched; real Prometheus uses OpenMetrics "#"
+    # machinery for the same reason.
+    lines: List[str] = []
+    for labels, histogram in series.items():
+        assert isinstance(histogram, Histogram)
+        for index in sorted(histogram.exemplars):
+            trace_id, value = histogram.exemplars[index]
+            lines.append(
+                f"# EXEMPLAR {name}{_format_labels(labels)} "
+                f"bucket={index} value={_format_value(value)} "
+                f"trace_id={trace_id}"
+            )
+    return sorted(lines)
+
+
 def render_prometheus(
     registry: MetricsRegistry,
     quantiles: Iterable[float] = MetricsRegistry.DEFAULT_QUANTILES,
@@ -95,6 +112,7 @@ def render_prometheus(
                          key=lambda f: f.name):
         sections.append(f"# TYPE {family.name} summary")
         sections.extend(_summary_lines(family.name, family.series, quantiles))
+        sections.extend(_exemplar_lines(family.name, family.series))
     return "\n".join(sections) + ("\n" if sections else "")
 
 
@@ -208,8 +226,67 @@ def metrics_to_jsonl(registry: MetricsRegistry) -> str:
                         _format_value(q): histogram.quantile(q)
                         for q in MetricsRegistry.DEFAULT_QUANTILES
                     },
+                    # Bucket counts make the dump reconstructable
+                    # (registry_from_jsonl) for offline SLO evaluation.
+                    buckets={str(i): histogram.buckets[i]
+                             for i in sorted(histogram.buckets)},
+                    exemplars={str(i): list(histogram.exemplars[i])
+                               for i in sorted(histogram.exemplars)},
                 )
             else:
                 record["value"] = family.series[labels]
             lines.append(json.dumps(record, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_from_jsonl(source: Union[str, pathlib.Path]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from a metrics JSONL dump.
+
+    The inverse of :func:`metrics_to_jsonl` for everything bucketed:
+    counters and gauges restore exactly, histograms restore their
+    buckets/count/sum/min/max/exemplars (quantiles recompute from the
+    buckets). This is what lets ``repro.obs.cli alerts`` evaluate SLOs
+    against a recorded run without a live world.
+    """
+    if isinstance(source, pathlib.Path):
+        text = source.read_text(encoding="utf-8")
+    else:
+        text = str(source)
+        if "\n" not in text and not text.lstrip().startswith("{"):
+            text = pathlib.Path(text).read_text(encoding="utf-8")
+    registry = MetricsRegistry()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad metrics line {lineno}: {exc}") from None
+        if not isinstance(record, dict) or "metric" not in record:
+            raise ValueError(f"metrics line {lineno} is not a series record")
+        name = record["metric"]
+        kind = record.get("kind")
+        labels = record.get("labels") or {}
+        if kind == COUNTER:
+            registry.inc(name, float(record["value"]), labels)
+        elif kind == GAUGE:
+            registry.set_gauge(name, float(record["value"]), labels)
+        elif kind == HISTOGRAM:
+            registry.observe(name, 0.0, labels)  # materialize the series
+            histogram = registry.histogram(name, labels)
+            assert histogram is not None
+            histogram.buckets = {int(i): int(n)
+                                 for i, n in record.get("buckets", {}).items()}
+            histogram.count = int(record["count"])
+            histogram.total = float(record["sum"])
+            histogram.min_value = float(record["min"])
+            histogram.max_value = float(record["max"])
+            histogram.exemplars = {
+                int(i): (str(trace_id), float(value))
+                for i, (trace_id, value) in record.get("exemplars", {}).items()
+            }
+        else:
+            raise ValueError(
+                f"metrics line {lineno}: unknown kind {kind!r}")
+    return registry

@@ -70,9 +70,15 @@ def bucket_midpoint(index: int) -> float:
 
 
 class Histogram:
-    """Log-linear histogram for one label set."""
+    """Log-linear histogram for one label set.
 
-    __slots__ = ("buckets", "count", "total", "min_value", "max_value")
+    Each bucket may carry one *exemplar* — the trace id (and exact
+    value) of the most recent observation that landed in it — linking
+    a latency bucket back to a causal span tree for drill-down.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min_value", "max_value",
+                 "exemplars")
 
     def __init__(self) -> None:
         self.buckets: Dict[int, int] = {}
@@ -80,14 +86,17 @@ class Histogram:
         self.total = 0.0
         self.min_value = math.inf
         self.max_value = -math.inf
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         index = bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
         self.count += 1
         self.total += value
         self.min_value = min(self.min_value, value)
         self.max_value = max(self.max_value, value)
+        if exemplar is not None:
+            self.exemplars[index] = (exemplar, value)
 
     @property
     def mean(self) -> float:
@@ -116,6 +125,32 @@ class Histogram:
 
     def percentiles(self, points: Iterable[float] = (0.5, 0.95, 0.99)) -> Dict[float, float]:
         return {p: self.quantile(p) for p in points}
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold``.
+
+        Bucket-granular (a bucket counts as "above" when its midpoint
+        exceeds the threshold), which is the resolution SLO burn-rate
+        evaluation needs — the same ~1/SUBBUCKETS relative error as
+        quantiles.
+        """
+        if self.count == 0:
+            return 0.0
+        above = sum(
+            n for index, n in self.buckets.items()
+            if bucket_midpoint(index) > threshold
+        )
+        return above / self.count
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact for bucket data)."""
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        self.exemplars.update(other.exemplars)
 
 
 # ---------------------------------------------------------------------------
@@ -182,14 +217,32 @@ class MetricsRegistry:
         family.series[label_set(labels)] = float(value)
 
     def observe(self, name: str, value: float,
-                labels: Optional[Dict[str, str]] = None) -> None:
+                labels: Optional[Dict[str, str]] = None,
+                exemplar: Optional[str] = None) -> None:
         family = self._family(name, HISTOGRAM)
         key = label_set(labels)
         histogram = family.series.get(key)
         if histogram is None:
             histogram = Histogram()
             family.series[key] = histogram
-        histogram.observe(value)
+        histogram.observe(value, exemplar=exemplar)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges
+        take the other's value, histograms merge bucket-wise)."""
+        for family in other.families():
+            mine = self._family(family.name, family.kind)
+            for key, series in family.series.items():
+                if family.kind == COUNTER:
+                    mine.series[key] = mine.series.get(key, 0.0) + series  # type: ignore[operator]
+                elif family.kind == GAUGE:
+                    mine.series[key] = series
+                else:
+                    histogram = mine.series.get(key)
+                    if histogram is None:
+                        histogram = Histogram()
+                        mine.series[key] = histogram
+                    histogram.merge(series)  # type: ignore[arg-type]
 
     # -- read paths -----------------------------------------------------------------
 

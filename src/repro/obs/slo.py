@@ -1,0 +1,159 @@
+"""Service-level objectives with burn-rate evaluation.
+
+An :class:`SLO` declares what fraction of events must be *good* (the
+objective); the complement is the error budget. The **burn rate** is
+the observed bad fraction divided by the budget — burn rate 1.0 means
+the service is spending its budget exactly as fast as allowed, >1
+means the objective will be violated if the window's behaviour
+persists. Both SRE-style multi-window alerting and our single-window
+offline evaluation reduce to this one ratio.
+
+Two SLO kinds cover the prebake stack's contract:
+
+* ``latency`` — a histogram metric plus a threshold; an observation is
+  bad when it lands above the threshold (e.g. cold-start p99 under
+  500 ms means at most 1% of cold starts may exceed 500 ms).
+* ``ratio`` — a failure counter over a total counter (e.g. restore
+  success rate: ``criu_restore_failures_total`` over
+  ``criu_restore_total``).
+
+SLOs evaluate against any :class:`~repro.obs.metrics.MetricsRegistry`
+— live (via ``PrometheusLite.add_slo``) or reconstructed from a
+metrics JSONL dump (``repro.obs.cli alerts``), so a recorded run can
+be audited without re-simulating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import (
+    HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    labels_match,
+)
+
+LATENCY = "latency"
+RATIO = "ratio"
+
+
+def merged_histogram(registry: MetricsRegistry, name: str,
+                     labels: Optional[Dict[str, str]] = None) -> Optional[Histogram]:
+    """Merge every series of ``name`` matching the label subset."""
+    want = dict(labels or {})
+    merged: Optional[Histogram] = None
+    for family in registry.families():
+        if family.name != name or family.kind != HISTOGRAM:
+            continue
+        for series_labels, histogram in family.series.items():
+            if not labels_match(series_labels, want):
+                continue
+            if merged is None:
+                merged = Histogram()
+            merged.merge(histogram)  # type: ignore[arg-type]
+    return merged
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over registry metrics."""
+
+    name: str
+    objective: float                    # good fraction required, e.g. 0.99
+    kind: str = LATENCY                 # LATENCY or RATIO
+    metric: str = ""                    # histogram (latency) / total counter (ratio)
+    threshold_ms: float = 0.0           # latency: bad when above this
+    bad_metric: str = ""                # ratio: the failures counter
+    labels: Dict[str, str] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}")
+        if self.kind not in (LATENCY, RATIO):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def bad_fraction(self, registry: MetricsRegistry) -> Optional[float]:
+        """Observed bad fraction, or None when there is no data yet."""
+        if self.kind == LATENCY:
+            histogram = merged_histogram(registry, self.metric, self.labels)
+            if histogram is None or histogram.count == 0:
+                return None
+            return histogram.fraction_above(self.threshold_ms)
+        total = registry.value(self.metric, self.labels)
+        if total <= 0:
+            return None
+        bad = registry.value(self.bad_metric, self.labels)
+        return min(1.0, bad / total)
+
+    def burn_rate(self, registry: MetricsRegistry) -> Optional[float]:
+        """Bad fraction over error budget (1.0 = spending exactly on
+        budget); None when no data has been observed."""
+        bad = self.bad_fraction(registry)
+        if bad is None:
+            return None
+        return bad / self.error_budget
+
+
+@dataclass
+class SLOStatus:
+    """One SLO evaluated against one registry."""
+
+    slo: SLO
+    bad_fraction: Optional[float]
+    burn_rate: Optional[float]
+
+    @property
+    def breached(self) -> bool:
+        return self.burn_rate is not None and self.burn_rate > 1.0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.breached
+
+
+# -- the stack's default contract --------------------------------------------
+
+# Cold starts: 99% of request-observed cold-start waits under 800 ms.
+# The bound sits between the paper's prebaked image-resizer (~550 ms)
+# and vanilla (~2 s), so prebaked fleets pass and vanilla fleets burn.
+COLD_START_P99 = SLO(
+    name="cold-start-p99",
+    objective=0.99,
+    kind=LATENCY,
+    metric="router_cold_start_wait_ms",
+    threshold_ms=800.0,
+    description="99% of cold starts complete within 800 ms",
+)
+
+# Restores: at least 99% of criu restore attempts succeed.
+RESTORE_SUCCESS = SLO(
+    name="restore-success-rate",
+    objective=0.99,
+    kind=RATIO,
+    metric="criu_restore_total",
+    bad_metric="criu_restore_failures_total",
+    description="at least 99% of snapshot restores succeed",
+)
+
+DEFAULT_SLOS = (COLD_START_P99, RESTORE_SUCCESS)
+
+
+def evaluate_slos(registry: MetricsRegistry,
+                  slos: Optional[List[SLO]] = None) -> List[SLOStatus]:
+    """Evaluate SLOs (default: the stack's contract) against a registry."""
+    out = []
+    for slo in (slos if slos is not None else list(DEFAULT_SLOS)):
+        out.append(SLOStatus(
+            slo=slo,
+            bad_fraction=slo.bad_fraction(registry),
+            burn_rate=slo.burn_rate(registry),
+        ))
+    return out

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.context import TraceContext
+
 
 class SpanError(Exception):
     """Span lifecycle violation (double finish, out-of-order exit)."""
@@ -60,6 +62,11 @@ class Span:
         if self.end_ms is None:
             raise SpanError(f"span {self.name!r} has not finished")
         return self.end_ms - self.start_ms
+
+    @property
+    def context(self) -> TraceContext:
+        """The propagation handle work caused by this span should carry."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def __enter__(self) -> "Span":
         return self
@@ -112,6 +119,10 @@ class NullSpan:
     def finished(self) -> bool:
         return True
 
+    @property
+    def context(self) -> None:
+        return None
+
 
 NULL_SPAN = NullSpan()
 
@@ -134,13 +145,26 @@ class Tracer:
 
     # -- span lifecycle -----------------------------------------------------------
 
-    def span(self, name: str, **attributes: object) -> Span:
-        """Open a span (nested under the innermost active span)."""
+    def span(self, name: str, context: Optional[TraceContext] = None,
+             **attributes: object) -> Span:
+        """Open a span (nested under the innermost active span).
+
+        ``context`` adopts an explicit :class:`TraceContext` when the
+        span stack cannot supply the causal parent — e.g. a replica
+        serving a request whose trace was minted at the router. The
+        stack wins whenever it is non-empty (lexical nesting is always
+        the tighter causal link); a context-adopted span joins the
+        carried trace instead of opening a fresh one.
+        """
         parent = self._stack[-1] if self._stack else None
         if parent is None:
-            trace_id = f"t-{self._next_trace_id:04d}"
-            self._next_trace_id += 1
-            parent_id = None
+            if context is not None:
+                trace_id = context.trace_id
+                parent_id = context.span_id
+            else:
+                trace_id = f"t-{self._next_trace_id:04d}"
+                self._next_trace_id += 1
+                parent_id = None
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
@@ -175,6 +199,26 @@ class Tracer:
     @property
     def active_depth(self) -> int:
         return len(self._stack)
+
+    def open_spans(self) -> List[Span]:
+        """Active (unfinished) spans, outermost first.
+
+        A clean run leaves this empty; the bench harness asserts so
+        after every episode, which catches spans leaked on error paths.
+        """
+        return list(self._stack)
+
+    def current_context(self) -> Optional[TraceContext]:
+        """Propagation handle of the innermost active span, if any."""
+        if not self._stack:
+            return None
+        return self._stack[-1].context
+
+    def current_trace_id(self) -> Optional[str]:
+        """Trace id of the innermost active span (exemplar source)."""
+        if not self._stack:
+            return None
+        return self._stack[-1].trace_id
 
     def roots(self) -> List[Span]:
         return [s for s in self.spans if s.parent_id is None]

@@ -59,6 +59,10 @@ class Kernel:
         # Fault injector (repro.faults.FaultInjector) or None; site
         # checks treat None as "never fire" and draw no randomness.
         self.faults = None
+        # Phase profiler (repro.obs.profile.PhaseProfiler) or None;
+        # attribution sites treat None as "profiling off" — no time is
+        # charged and no randomness drawn either way.
+        self.profile = None
         # Working-set tracker (repro.criu.workingset.WorkingSetTracker)
         # or None; installed lazily by the first WORKING_SET restore so
         # eager-only worlds never pay for (or observe) it.
@@ -129,7 +133,10 @@ class Kernel:
             self._next_pid = max(self._next_pid, pid + 1)
         else:
             pid = self._alloc_pid()
-        self._charge("clone", parent.pid, self.costs.clone_ms, detail=comm or "")
+        duration = self._charge("clone", parent.pid, self.costs.clone_ms,
+                                detail=comm or "")
+        if self.profile is not None:
+            self.profile.record("CLONE", duration, pid=pid, comm=comm or "")
         namespaces = parent.namespaces.clone_with_new(*new_namespaces)
         child = Process(
             pid=pid,
@@ -149,7 +156,10 @@ class Kernel:
         if not proc.alive:
             raise KernelError(f"pid {proc.pid} is not alive")
         binary = self.fs.lookup(path)  # ENOENT if missing
-        self._charge("execve", proc.pid, self.costs.exec_ms, detail=path)
+        duration = self._charge("execve", proc.pid, self.costs.exec_ms,
+                                detail=path)
+        if self.profile is not None:
+            self.profile.record("EXEC", duration, pid=proc.pid, path=path)
         proc.comm = path.rsplit("/", 1)[-1]
         proc.argv = list(argv or [path])
         proc.payload.clear()
