@@ -142,6 +142,24 @@ def collect_restore_sweep(repetitions: int, seed: int) -> Metrics:
     return metrics
 
 
+def collect_restore_pipeline(repetitions: int, seed: int) -> Metrics:
+    """Pipelined-restore sweep: overlap + hot-chunk cache win (X8)."""
+    from repro.bench.restore_sweep import restore_pipeline_sweep
+    metrics: Metrics = {}
+    result = restore_pipeline_sweep(
+        repetitions=repetitions, seed=seed,
+        workers_grid=(1, 4), cache_policies=("none", "freq-over-size"))
+    for row in result.rows:
+        prefix = f"{row.function}/w{row.workers}/{row.cache_policy}"
+        metrics[f"{prefix}/p50_ms"] = scalar_metric(row.p50_ms)
+        if row.workers > 1 and row.cache_policy != "none":
+            metrics[f"{row.function}/pipeline_improvement_pct"] = \
+                scalar_metric(row.improvement_pct, direction=HIGHER)
+            metrics[f"{row.function}/cache_hit_ratio"] = \
+                scalar_metric(row.hit_ratio, direction=HIGHER)
+    return metrics
+
+
 def collect_chaos(repetitions: int, seed: int) -> Metrics:
     """Cold-start percentiles and success rates under faults."""
     from repro.bench.chaos import chaos_experiment
@@ -171,6 +189,8 @@ BENCHES: Dict[str, Bench] = {
     "fig3": Bench("fig3", collect_fig3, default_repetitions=20),
     "restore-sweep": Bench("restore-sweep", collect_restore_sweep,
                            default_repetitions=20),
+    "restore-pipeline": Bench("restore-pipeline", collect_restore_pipeline,
+                              default_repetitions=10),
     "chaos": Bench("chaos", collect_chaos, default_repetitions=10),
 }
 

@@ -27,7 +27,8 @@ log = get_logger("bench")
 
 
 def _run_fig3(args) -> str:
-    return figures.figure3(repetitions=args.repetitions, seed=args.seed).render()
+    return figures.figure3(repetitions=args.repetitions, seed=args.seed,
+                           workers=args.workers).render()
 
 
 def _run_fig4(args) -> str:
@@ -104,6 +105,14 @@ def _run_restore_sweep(args) -> str:
     ).render()
 
 
+def _run_restore_pipeline(args) -> str:
+    """X8: pipelined restore sweep (workers × cache policy × function)."""
+    from repro.bench.restore_sweep import restore_pipeline_sweep
+    return restore_pipeline_sweep(
+        repetitions=max(6, args.repetitions // 8), seed=args.seed
+    ).render()
+
+
 def _run_trace(args) -> str:
     """Record full lifecycle traces for a few episodes and summarize.
 
@@ -171,6 +180,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-runtimes": _run_ext_runtimes,
     "ext-pool": _run_ext_pool,
     "restore-sweep": _run_restore_sweep,
+    "restore-pipeline": _run_restore_pipeline,
     "chaos": _run_chaos,
     "trace": _run_trace,
     "profile": _run_profile,
@@ -188,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="repetitions per treatment (paper: 200)")
     parser.add_argument("--seed", "-s", type=int, default=42,
                         help="master RNG seed")
+    parser.add_argument("--workers", "-w", type=int, default=1,
+                        help="fan repetitions over N processes where the "
+                             "experiment supports it (fig3); results are "
+                             "identical for any worker count")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a JSONL lifecycle trace (fig4 and "
                              "trace experiments)")

@@ -97,14 +97,20 @@ class Fig3Result:
         )
 
 
-def figure3(repetitions: int = 200, seed: int = 42) -> Fig3Result:
-    """Reproduce Figure 3: NOOP/Markdown/Image Resizer start-up."""
+def figure3(repetitions: int = 200, seed: int = 42,
+            workers: int = 1) -> Fig3Result:
+    """Reproduce Figure 3: NOOP/Markdown/Image Resizer start-up.
+
+    ``workers`` fans repetitions over processes (identical output for
+    any worker count; see :func:`run_startup_experiment`)."""
     result = Fig3Result()
     for name in REAL_FUNCTIONS:
         vanilla = run_startup_experiment(name, "vanilla",
-                                         repetitions=repetitions, seed=seed)
+                                         repetitions=repetitions, seed=seed,
+                                         workers=workers)
         prebake = run_startup_experiment(name, "prebake", policy=AfterReady(),
-                                         repetitions=repetitions, seed=seed + 1)
+                                         repetitions=repetitions, seed=seed + 1,
+                                         workers=workers)
         diff = median_difference_ci(vanilla.values, prebake.values, seed=seed)
         test = mann_whitney_u(vanilla.values, prebake.values)
         normal = shapiro_wilk(vanilla.values)

@@ -5,12 +5,19 @@ and the function runtime was restarted before a run" (§4.1) — so every
 repetition here builds a *fresh* simulated world (new kernel, new page
 cache, new RNG substream), deploys, measures one start-up, and tears
 everything down.
+
+Because each repetition is a hermetic world seeded from
+``_derive_seed(seed, "rep-<n>")``, repetitions are embarrassingly
+parallel: ``workers=N`` fans them over a ``multiprocessing`` pool and
+reassembles the samples in repetition order, producing *identical*
+results to a serial run for any worker count.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import make_world, obs
 from repro.bench.stats import ConfidenceInterval, bootstrap_median_ci, median
@@ -75,6 +82,97 @@ class StartupSummary:
         )
 
 
+def _startup_repetition(
+    rep: int,
+    function,
+    technique: str,
+    policy: SnapshotPolicy,
+    seed: int,
+    resolved_metric: str,
+    trace_phases: bool,
+    costs: CostModel,
+    restore_mode: RestoreMode,
+    in_memory: bool,
+    trace_sink: Optional[List[Dict[str, object]]] = None,
+) -> StartupSample:
+    """One hermetic repetition: fresh world, deploy, measure, tear down.
+
+    Module-level (not a closure) so ``multiprocessing`` workers can run
+    it; the sample depends only on the arguments, never on which
+    process executed it.
+    """
+    factory = _resolve_factory(function)
+    world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs,
+                       observe=trace_sink is not None)
+    kernel = world.kernel
+    manager = PrebakeManager(kernel)
+    app = factory()
+    with obs.span(kernel, "bench.repetition", rep=rep,
+                  function=app.name, technique=technique,
+                  policy=policy.key):
+        snapshot_mib = 0.0
+        if technique == "prebake":
+            report = manager.deploy(app, policy=policy)
+            snapshot_mib = report.snapshot_mib
+        tracer = PhaseTracer(kernel) if trace_phases else None
+        starter = manager.starter(
+            technique, policy=policy, restore_mode=restore_mode,
+            in_memory=in_memory,
+            version=(manager.current_version(app.name)
+                     if technique == "prebake" else 1),
+        )
+        if tracer:
+            tracer.start_episode()
+        handle = starter.start(app)
+        if resolved_metric == "first_response":
+            handle.invoke()
+        if tracer:
+            tracer.stop_episode()
+        if trace_sink is not None and resolved_metric != "first_response":
+            # The measured episode is over (startup_ms derives from
+            # the recorded spawn/ready stamps); drive one request so
+            # the trace also covers first-request serve.
+            handle.invoke()
+    sample = StartupSample(
+        repetition=rep,
+        startup_ms=handle.startup_ms(resolved_metric),
+        snapshot_mib=snapshot_mib,
+        phases=tracer.breakdown() if tracer else None,
+    )
+    if trace_sink is not None:
+        # Tracer self-check: a clean episode leaves no span open.
+        # A leak here means an error path exited without closing
+        # its span (the bug class the context-manager discipline
+        # exists to prevent) — fail loudly rather than emit a
+        # trace with phantom unfinished spans.
+        leaked = kernel.obs.tracer.open_spans()
+        if leaked:
+            raise obs.SpanError(
+                "span leak after repetition "
+                f"{rep}: {', '.join(s.name for s in leaked)}"
+            )
+        for span in kernel.obs.tracer.spans:
+            record = span.as_dict()
+            # Span/trace ids restart in every fresh world; qualify
+            # the trace id so merged multi-repetition files keep
+            # each repetition's tree intact.
+            record["trace"] = f"{technique}/{app.name}/rep{rep}/{record['trace']}"
+            record.update(rep=rep, function=app.name, technique=technique)
+            trace_sink.append(record)
+    return sample
+
+
+def _startup_repetition_star(packed: Tuple) -> StartupSample:
+    """Pool-map adapter (pools map over a single argument)."""
+    return _startup_repetition(*packed)
+
+
+def _parallelizable(function, trace_sink) -> bool:
+    """Reps can fan out only when every argument survives pickling and
+    no cross-rep mutable state (the trace sink) is involved."""
+    return trace_sink is None and not callable(function)
+
+
 def run_startup_experiment(
     function,
     technique: str,
@@ -87,12 +185,19 @@ def run_startup_experiment(
     restore_mode: RestoreMode = RestoreMode.EAGER,
     in_memory: bool = False,
     trace_sink: Optional[List[Dict[str, object]]] = None,
+    workers: int = 1,
 ) -> StartupSummary:
     """Measure start-up time over ``repetitions`` fresh worlds.
 
     ``function`` is a registered name or an app factory. ``metric``
     defaults to the function profile's own start-up metric ("ready"
     for the paper's real functions, "first_response" for synthetic).
+
+    ``workers`` fans the repetitions over that many OS processes.
+    Seeds are partitioned per repetition (not per worker), so the
+    summary is byte-identical to a serial run for any worker count.
+    Treatments that need a trace sink, or whose ``function`` is an
+    in-process factory (unpicklable), silently run serially.
 
     ``trace_sink``, when given, turns on lifecycle telemetry: every
     repetition runs under a ``bench.repetition`` root span (deploy →
@@ -101,6 +206,8 @@ def run_startup_experiment(
     ``function`` and ``technique`` — are appended to the list, ready
     for :func:`repro.obs.export.write_trace_jsonl`.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     factory = _resolve_factory(function)
     probe = factory()
     resolved_metric = metric or probe.profile.startup_metric
@@ -110,64 +217,23 @@ def run_startup_experiment(
         policy_key=policy.key,
         metric=resolved_metric,
     )
-    for rep in range(repetitions):
-        world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs,
-                           observe=trace_sink is not None)
-        kernel = world.kernel
-        manager = PrebakeManager(kernel)
-        app = factory()
-        with obs.span(kernel, "bench.repetition", rep=rep,
-                      function=app.name, technique=technique,
-                      policy=policy.key):
-            snapshot_mib = 0.0
-            if technique == "prebake":
-                report = manager.deploy(app, policy=policy)
-                snapshot_mib = report.snapshot_mib
-            tracer = PhaseTracer(kernel) if trace_phases else None
-            starter = manager.starter(
-                technique, policy=policy, restore_mode=restore_mode,
-                in_memory=in_memory,
-                version=(manager.current_version(app.name)
-                         if technique == "prebake" else 1),
-            )
-            if tracer:
-                tracer.start_episode()
-            handle = starter.start(app)
-            if resolved_metric == "first_response":
-                handle.invoke()
-            if tracer:
-                tracer.stop_episode()
-            if trace_sink is not None and resolved_metric != "first_response":
-                # The measured episode is over (startup_ms derives from
-                # the recorded spawn/ready stamps); drive one request so
-                # the trace also covers first-request serve.
-                handle.invoke()
-        summary.samples.append(StartupSample(
-            repetition=rep,
-            startup_ms=handle.startup_ms(resolved_metric),
-            snapshot_mib=snapshot_mib,
-            phases=tracer.breakdown() if tracer else None,
-        ))
-        if trace_sink is not None:
-            # Tracer self-check: a clean episode leaves no span open.
-            # A leak here means an error path exited without closing
-            # its span (the bug class the context-manager discipline
-            # exists to prevent) — fail loudly rather than emit a
-            # trace with phantom unfinished spans.
-            leaked = kernel.obs.tracer.open_spans()
-            if leaked:
-                raise obs.SpanError(
-                    "span leak after repetition "
-                    f"{rep}: {', '.join(s.name for s in leaked)}"
-                )
-            for span in kernel.obs.tracer.spans:
-                record = span.as_dict()
-                # Span/trace ids restart in every fresh world; qualify
-                # the trace id so merged multi-repetition files keep
-                # each repetition's tree intact.
-                record["trace"] = f"{technique}/{app.name}/rep{rep}/{record['trace']}"
-                record.update(rep=rep, function=app.name, technique=technique)
-                trace_sink.append(record)
+    packed = [
+        (rep, function, technique, policy, seed, resolved_metric,
+         trace_phases, costs, restore_mode, in_memory)
+        for rep in range(repetitions)
+    ]
+    if workers > 1 and repetitions > 1 and _parallelizable(function, trace_sink):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        with ctx.Pool(processes=min(workers, repetitions)) as pool:
+            # map() preserves input order, so samples land rep-sorted
+            # exactly as the serial loop would append them.
+            summary.samples.extend(pool.map(_startup_repetition_star, packed))
+    else:
+        for args in packed:
+            summary.samples.append(
+                _startup_repetition(*args, trace_sink=trace_sink))
     return summary
 
 
@@ -193,6 +259,7 @@ def run_service_experiment(
     interval_ms: float = 10.0,
     seed: int = 42,
     costs: CostModel = DEFAULT_COST_MODEL,
+    workers: int = 1,
 ) -> ServiceSummary:
     """Measure ``requests`` sequential service times after one start-up.
 
@@ -200,7 +267,14 @@ def run_service_experiment(
     function (ECDF) of the service time for 200 requests applied to
     [the] functions after being initialized by the prebaking and
     vanilla technique."
+
+    ``workers`` is accepted for interface symmetry with
+    :func:`run_startup_experiment`: this treatment drives one replica
+    inside a single world, whose requests are causally ordered, so any
+    worker count yields the identical serial execution.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     factory = _resolve_factory(function)
     world = make_world(seed=_derive_seed(seed, f"service-{technique}"), costs=costs)
     kernel = world.kernel

@@ -87,6 +87,9 @@ class PrebakeManager:
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         fallback: bool = True,
         repair: bool = True,
+        pipeline_workers: int = 1,
+        chunk_cache=None,
+        cache_policy: Optional[str] = None,
     ) -> Starter:
         """Build a starter for ``technique`` ("vanilla" | "prebake")."""
         if technique == "vanilla":
@@ -103,6 +106,9 @@ class PrebakeManager:
                 fallback=fallback,
                 rebake=lambda app: self.rebake(app, policy, version),
                 repair=repair,
+                pipeline_workers=pipeline_workers,
+                chunk_cache=chunk_cache,
+                cache_policy=cache_policy,
             )
         raise ValueError(f"unknown technique {technique!r}")
 

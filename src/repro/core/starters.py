@@ -11,7 +11,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import faults, obs
-from repro.obs.profile import RESTORE_BACKOFF, RESTORE_REPAIR
+from repro.obs.profile import (
+    RESTORE_BACKOFF,
+    RESTORE_REPAIR,
+    RESTORE_SUBTREE_VERIFY,
+)
 from repro.core.policy import AfterReady, SnapshotPolicy
 from repro.core.store import SnapshotKey, SnapshotNotFound, SnapshotStore
 from repro.criu.images import CheckpointImage
@@ -161,6 +165,9 @@ class PrebakeStarter(Starter):
         fallback: bool = True,
         rebake: Optional[Callable[[FunctionApp], object]] = None,
         repair: bool = True,
+        pipeline_workers: int = 1,
+        chunk_cache=None,
+        cache_policy: Optional[str] = None,
     ) -> None:
         super().__init__(kernel)
         self.store = store
@@ -175,7 +182,12 @@ class PrebakeStarter(Starter):
         # cheaper than quarantine + rebake when the corruption sits in
         # the page data; disable to force the legacy rebake-only path.
         self.repair = repair
-        self.restore_engine = RestoreEngine(kernel)
+        # Pipelined restore + node-local hot-chunk cache knobs travel
+        # straight into the engine; the defaults (one worker, no
+        # cache) keep the serial path bit-identical.
+        self.restore_engine = RestoreEngine(
+            kernel, pipeline_workers=pipeline_workers,
+            chunk_cache=chunk_cache, cache_policy=cache_policy)
 
     def snapshot_key(self, app: FunctionApp) -> SnapshotKey:
         return SnapshotKey(
@@ -273,13 +285,33 @@ class PrebakeStarter(Starter):
         image = self.store.peek(key)
         if image is None:
             return False
-        try:
-            image.verify_integrity()
-        except SnapshotCorrupted:
-            # The chunk store could not reproduce the sealed content
-            # (e.g. corruption predating the manifest); fall through to
-            # quarantine + rebake.
-            return False
+        stats = self.store.last_repair_stats
+        if stats.targeted and stats.verified_ok is not None:
+            # Incremental verification: the repaired leaves were folded
+            # back into the sealed Merkle tree and the root + meta
+            # digest re-checked — no full-image re-hash needed. The
+            # sample is zero-duration (registry-side work is free on
+            # the simulated clock) but keeps the subtree verify and
+            # its hash-op count on the critical-path ledger.
+            if kernel.profile is not None:
+                kernel.profile.record(RESTORE_SUBTREE_VERIFY, 0.0,
+                                      chunks=stats.checked_chunks,
+                                      hash_ops=stats.hash_ops,
+                                      function=key.function)
+            obs.count(kernel, "snapshot_subtree_verify_total", labels=labels)
+            if not stats.verified_ok:
+                # The subtree folded back to a different root: the
+                # damage exceeds what the chunk store can reproduce;
+                # fall through to quarantine + rebake.
+                return False
+        else:
+            try:
+                image.verify_integrity()
+            except SnapshotCorrupted:
+                # The chunk store could not reproduce the sealed content
+                # (e.g. corruption predating the manifest); fall through
+                # to quarantine + rebake.
+                return False
         obs.count(kernel, "prebake_snapshot_repaired_total", labels=labels)
         obs.count(kernel, "snapshot_chunks_repaired_total",
                   value=float(repaired_chunks), labels=labels)

@@ -101,6 +101,17 @@ class CheckpointImage:
     parent_image_id: Optional[str] = None  # set for incremental pre-dumps
     warm: bool = False  # snapshot taken after >= 1 request (prebake-warmup)
     digest: Optional[str] = None  # content digest sealed at dump time
+    meta_digest: Optional[str] = None  # digest of the non-page fields (sealed)
+    # Mutation bookkeeping: bumped on any in-place content change so
+    # memoized derived data (chunk indexes) invalidates itself.
+    generation: int = 0
+    # Damage hints recorded by tamper(): (vma_index, absolute page
+    # index) per corrupted page, plus whether non-page metadata was
+    # hit. A Merkle-verified repair re-checks only these subtrees; an
+    # empty set with a drifted digest means "location unknown" and
+    # callers fall back to a full scan.
+    dirty_pages: set = field(default_factory=set)
+    dirty_meta: bool = False
 
     # -- size accounting ----------------------------------------------------------
 
@@ -160,9 +171,40 @@ class CheckpointImage:
         encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
         return hashlib.sha256(encoded).hexdigest()
 
+    def compute_meta_digest(self) -> str:
+        """SHA-256 over everything a restore consumes *except* pages.
+
+        The complement of the per-chunk Merkle leaves: identity, VMA
+        geometry, fd table, runtime state and file sizes. Together
+        with a matching Merkle root this proves integrity without
+        re-hashing any page content — the incremental verification the
+        targeted repair path relies on.
+        """
+        payload = {
+            "pid": self.pid,
+            "comm": self.comm,
+            "argv": self.argv,
+            "namespaces": {k: v for k, v in sorted(self.namespace_ids.items())},
+            "vmas": [
+                [v.start, v.length, v.kind, v.prot, v.label, v.file_path,
+                 v.file_offset, v.file_size, list(v.resident_indices)]
+                for v in self.vmas
+            ],
+            "fds": [
+                [f.fd, f.path, f.offset, f.flags, f.is_socket, f.file_size]
+                for f in self.fds
+            ],
+            "runtime_state": _stable(self.runtime_state),
+            "files": {name: f.size_bytes for name, f in sorted(self.files.items())},
+            "warm": self.warm,
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
     def seal(self) -> str:
-        """Record the content digest (done once, at dump time)."""
+        """Record the content digests (done once, at dump time)."""
         self.digest = self.compute_digest()
+        self.meta_digest = self.compute_meta_digest()
         return self.digest
 
     def verify_integrity(self) -> None:
@@ -192,15 +234,21 @@ class CheckpointImage:
         exactly like flipped bits in ``pages-1.img``. ``pages`` sized
         to a page-store chunk models losing one registry chunk.
         """
+        self.generation += 1
         for index, vma in enumerate(self.vmas):
             if vma.content_tags:
                 tags = list(vma.content_tags)
                 start = min(first_page, len(tags) - 1)
                 for offset in range(start, min(start + pages, len(tags))):
                     tags[offset] = tags[offset] + "\x00corrupt"
+                    # Record *where* the damage landed (absolute page
+                    # index) so repair can verify just that subtree.
+                    self.dirty_pages.add(
+                        (index, vma.resident_indices[offset]))
                 self.vmas[index] = replace(vma, content_tags=tuple(tags))
                 return
         self.comm = self.comm + "\x00corrupt"
+        self.dirty_meta = True
 
     def validate(self) -> None:
         """Internal consistency checks a restore relies on."""

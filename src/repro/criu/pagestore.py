@@ -131,6 +131,20 @@ class LayeredImage:
     def chunk_refs(self) -> List[ChunkRef]:
         return [ref for layer in self.layers for ref in layer.chunk_refs]
 
+    def ref_at(self, vma_index: int, window_start: int) -> Optional[ChunkRef]:
+        """O(1) lookup of the ref covering one chunk window.
+
+        The index is built lazily on first use and reused after — the
+        targeted repair path resolves each dirty page to its chunk
+        window without scanning the manifest.
+        """
+        index = self.__dict__.get("_ref_index")
+        if index is None:
+            index = {(ref.vma_index, ref.window_start): ref
+                     for ref in self.chunk_refs}
+            self.__dict__["_ref_index"] = index
+        return index.get((vma_index, window_start))
+
     @property
     def chunk_ids(self) -> List[str]:
         return [ref.chunk_id for ref in self.chunk_refs]
@@ -236,19 +250,46 @@ class PageStore:
 # Layering
 # ---------------------------------------------------------------------------
 
+def image_chunk_index(
+    image: CheckpointImage,
+    chunk_pages: int = CHUNK_PAGES,
+) -> Tuple[Tuple[int, int, str, int], ...]:
+    """Per-window chunk identities of ``image``, memoized on the image.
+
+    Returns ``(vma_index, window_start, chunk_id, size_bytes)`` per
+    chunk window — what the hot-chunk cache keys restore-time lookups
+    on. Chunking is deterministic in the page content, so the result
+    is cached on the image instance keyed by its mutation
+    ``generation`` (bumped by :meth:`CheckpointImage.tamper` and
+    repairs); repeated restores of the same snapshot pay the window
+    walk once instead of per restore. Pure bookkeeping — no simulated
+    time, no RNG.
+    """
+    generation = getattr(image, "generation", 0)
+    cached = image.__dict__.get("_chunk_index_cache")
+    if cached is not None and cached[0] == (generation, chunk_pages):
+        return cached[1]
+    index = tuple(
+        (vma_index, window_start,
+         chunk_id(vma.kind, vma.prot, pairs), len(pairs) * PAGE_SIZE)
+        for vma_index, vma in enumerate(image.vmas)
+        for window_start, pairs in _windows(vma, chunk_pages)
+    )
+    image.__dict__["_chunk_index_cache"] = ((generation, chunk_pages), index)
+    return index
+
+
 def image_chunk_count(image: CheckpointImage,
                       chunk_pages: int = CHUNK_PAGES) -> int:
     """Number of content-addressed chunk windows ``image`` spans.
 
     The unit the restore profiler reports chunk-fetch work in: an
     eager restore materializes every window, whatever fraction of
-    them dedup to already-resident chunks. Pure bookkeeping — no
+    them dedup to already-resident chunks. O(1) after the first call
+    (shares :func:`image_chunk_index`'s memo). Pure bookkeeping — no
     simulated time, no RNG.
     """
-    return sum(
-        sum(1 for _ in _windows(vma, chunk_pages))
-        for vma in image.vmas
-    )
+    return len(image_chunk_index(image, chunk_pages))
 
 
 def _windows(vma: VMADescriptor,

@@ -14,22 +14,26 @@ and ``in_memory``; ablation benchmarks sweep both.
 
 from __future__ import annotations
 
+import contextlib
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro import faults, obs
+from repro.criu.chunkcache import HotChunkCache, make_cache
 from repro.criu.images import CheckpointImage
-from repro.criu.pagestore import image_chunk_count
+from repro.criu.pagestore import image_chunk_count, image_chunk_index
 from repro.criu.workingset import WorkingSetRecord, WorkingSetTracker
 from repro.faults.errors import RestoreFailed, SnapshotCorrupted
 from repro.obs.profile import (
     RESTORE_CHUNK_FETCH,
     RESTORE_DIGEST_VERIFY,
+    RESTORE_PIPELINE_RAMP,
     RESTORE_WS_PREFETCH,
 )
 from repro.osproc.kernel import Kernel
 from repro.osproc.memory import VMAKind
 from repro.osproc.process import Capability, Process, ProcessState
+from repro.sim.costmodel import PipelinePlan
 
 
 class RestoreError(Exception):
@@ -62,16 +66,33 @@ class RestoreEngine:
     stacks and parasite-adjacent pages even under lazy-pages); the
     remainder becomes the ``lazy_restore_debt_ms`` charged to the first
     request.
+
+    ``pipeline_workers`` parallelizes the page-population stage:
+    ``N > 1`` overlaps chunk fetching with page mapping/prefetching
+    (see :meth:`CostModel.plan_restore_pipeline`); the default of 1 is
+    the original serial model, bit-identical to its charges.
+    ``chunk_cache`` (or ``cache_policy``, which builds one) is a
+    node-local :class:`HotChunkCache` consulted per chunk window —
+    hits fetch at local-read speed instead of a registry round-trip.
     """
 
     def __init__(self, kernel: Kernel,
-                 lazy_eager_fraction: float = DEFAULT_LAZY_EAGER_FRACTION) -> None:
+                 lazy_eager_fraction: float = DEFAULT_LAZY_EAGER_FRACTION,
+                 pipeline_workers: int = 1,
+                 chunk_cache: Optional[HotChunkCache] = None,
+                 cache_policy: Optional[str] = None) -> None:
         if not 0.0 <= lazy_eager_fraction <= 1.0:
             raise ValueError(
                 f"lazy_eager_fraction must be in [0, 1], got {lazy_eager_fraction}"
             )
+        if pipeline_workers < 1:
+            raise ValueError(
+                f"pipeline_workers must be >= 1, got {pipeline_workers}")
         self.kernel = kernel
         self.lazy_eager_fraction = lazy_eager_fraction
+        self.pipeline_workers = pipeline_workers
+        self.chunk_cache = (chunk_cache if chunk_cache is not None
+                            else make_cache(cache_policy))
         kernel.fs.ensure(CRIU_BINARY, size=5 * 1024 * 1024)
 
     def restore(
@@ -126,40 +147,64 @@ class RestoreEngine:
                       in_memory=in_memory, warm=image.warm):
             try:
                 self._transmute(proc, image)
-                self._inject_restore_faults(proc, image)
+                with contextlib.ExitStack() as pipeline_spans:
+                    if self.pipeline_workers > 1:
+                        # Worker spans cover the fault sites and the
+                        # fetch/map charge; an injected restore.fail
+                        # unwinds through the stack, so every worker
+                        # span closes and the harness's span-leak
+                        # self-check stays green on retried restores.
+                        for worker in range(self.pipeline_workers):
+                            pipeline_spans.enter_context(obs.span(
+                                kernel, "restore.pipeline-worker",
+                                worker=worker, workers=self.pipeline_workers,
+                                image=image.image_id))
+                    self._inject_restore_faults(proc, image)
+
+                    # REAP working-set restores: look up the record
+                    # before costing — its size determines the
+                    # prefetched fraction.
+                    tracker: Optional[WorkingSetTracker] = None
+                    ws_record: Optional[WorkingSetRecord] = None
+                    if mode is RestoreMode.WORKING_SET:
+                        tracker = WorkingSetTracker.install(kernel)
+                        ws_record = tracker.record_for(image)
+
+                    # Node-local hot-chunk cache: a hit turns a registry
+                    # fetch into a local read (no RNG, pure bookkeeping).
+                    cached_fraction = self._chunk_cache_pass(image)
+
+                    # Charge the restore work (page reads + remapping).
+                    duration, plan, serial_duration = self._restore_duration(
+                        image, mode, in_memory, duration_override_ms,
+                        ws_record=ws_record, cached_fraction=cached_fraction)
+                    extra_ms = 0.0
+                    if faults.should_fire(kernel, faults.IO_SLOW,
+                                          detail=image.image_id):
+                        # Slow storage under the image directory: the page
+                        # reads pay the armed penalty on top of the model
+                        # cost.
+                        extra_ms = faults.extra_delay_ms(kernel, faults.IO_SLOW)
+                        duration += extra_ms
+                    charged = kernel.costs.jitter(duration, kernel.streams,
+                                                  "criu.restore")
+                    kernel.clock.advance(charged)
             except Exception:
                 kernel.kill(proc.pid)
                 raise
-
-            # REAP working-set restores: look up the record before
-            # costing — its size determines the prefetched fraction.
-            tracker: Optional[WorkingSetTracker] = None
-            ws_record: Optional[WorkingSetRecord] = None
-            if mode is RestoreMode.WORKING_SET:
-                tracker = WorkingSetTracker.install(kernel)
-                ws_record = tracker.record_for(image)
-
-            # Charge the restore work (page reads + remapping).
-            duration = self._restore_duration(image, mode, in_memory,
-                                              duration_override_ms,
-                                              ws_record=ws_record)
-            extra_ms = 0.0
-            if faults.should_fire(kernel, faults.IO_SLOW, detail=image.image_id):
-                # Slow storage under the image directory: the page
-                # reads pay the armed penalty on top of the model cost.
-                extra_ms = faults.extra_delay_ms(kernel, faults.IO_SLOW)
-                duration += extra_ms
-            charged = kernel.costs.jitter(duration, kernel.streams,
-                                          "criu.restore")
-            kernel.clock.advance(charged)
             if kernel.profile is not None:
                 self._record_restore_phases(
-                    proc, image, mode, in_memory, duration_override_ms,
-                    ws_record, extra_ms, duration, charged)
+                    proc, image, mode, ws_record, plan, extra_ms,
+                    duration, charged, serial_duration, in_memory)
             if mode is RestoreMode.LAZY:
+                # The deferred paging debt is real page work, so it is
+                # sized off the *serial* eager charge: pipelining the
+                # up-front fraction does not shrink the pages left to
+                # fault in.
                 full = kernel.costs.restore_cost(image.total_mib,
                                                  duration_override_ms)
-                proc.payload["lazy_restore_debt_ms"] = max(0.0, full - duration)
+                proc.payload["lazy_restore_debt_ms"] = max(
+                    0.0, full - serial_duration - extra_ms)
 
             proc.state = ProcessState.RUNNING
             kernel.probes.syscall_enter(
@@ -222,6 +267,33 @@ class RestoreEngine:
                 image_id=image.image_id, kind="hang",
             )
 
+    def _chunk_cache_pass(self, image: CheckpointImage) -> float:
+        """Consult the node-local cache for every chunk window.
+
+        Returns the byte fraction of the image served by cache hits
+        (0.0 with no cache configured). Deterministic bookkeeping: no
+        RNG, no simulated time — the saved fetch work is priced by the
+        pipeline plan, and effectiveness counters feed the SLO layer.
+        """
+        cache = self.chunk_cache
+        if cache is None:
+            return 0.0
+        kernel = self.kernel
+        hits = hit_bytes = total_bytes = 0
+        index = image_chunk_index(image)
+        for _vma_index, _window_start, cid, size_bytes in index:
+            total_bytes += size_bytes
+            if cache.lookup(cid, size_bytes):
+                hits += 1
+                hit_bytes += size_bytes
+        obs.count(kernel, "chunk_cache_lookups_total", value=float(len(index)))
+        obs.count(kernel, "chunk_cache_hits_total", value=float(hits))
+        obs.count(kernel, "chunk_cache_misses_total",
+                  value=float(len(index) - hits))
+        obs.gauge(kernel, "chunk_cache_hit_ratio", cache.stats.hit_ratio)
+        obs.gauge(kernel, "chunk_cache_used_bytes", float(cache.used_bytes))
+        return hit_bytes / total_bytes if total_bytes else 0.0
+
     def _restore_duration(
         self,
         image: CheckpointImage,
@@ -229,7 +301,16 @@ class RestoreEngine:
         in_memory: bool,
         override_ms: Optional[float],
         ws_record: Optional[WorkingSetRecord] = None,
-    ) -> float:
+        cached_fraction: float = 0.0,
+    ) -> Tuple[float, Optional[PipelinePlan], float]:
+        """(charged duration, pipeline plan or None, serial duration).
+
+        The serial duration is what the unpipelined single-worker
+        model would charge — the pipeline's baseline and the quantity
+        LAZY paging debt is sized against. With ``pipeline_workers=1``
+        and no cache hits the charged duration *is* the serial one and
+        no plan is built, keeping the default path bit-identical.
+        """
         costs = self.kernel.costs
         full = costs.restore_cost(image.total_mib, override_ms)
         # A calibrated override below the generic base means the whole
@@ -246,48 +327,61 @@ class RestoreEngine:
             # is left to demand faults (charged per miss at first
             # response — zero when the record is accurate).
             pages_part *= ws_record.fraction
-        return base + pages_part
+        serial = base + pages_part
+        if self.pipeline_workers == 1 and cached_fraction == 0.0:
+            return serial, None, serial
+        plan = costs.plan_restore_pipeline(
+            pages_part, workers=self.pipeline_workers,
+            chunk_count=image_chunk_count(image),
+            cached_fraction=cached_fraction)
+        return base + plan.total_ms, plan, serial
 
     def _record_restore_phases(
         self,
         proc: Process,
         image: CheckpointImage,
         mode: RestoreMode,
-        in_memory: bool,
-        override_ms: Optional[float],
         ws_record: Optional[WorkingSetRecord],
+        plan: Optional[PipelinePlan],
         extra_ms: float,
         duration: float,
         charged: float,
+        serial_duration: float,
+        in_memory: bool,
     ) -> None:
         """Attribute the jittered restore charge to restore sub-phases.
 
         Mirrors the :meth:`_restore_duration` cost split (base →
         digest-verify, page population → chunk-fetch or working-set
-        prefetch, injected io.slow penalty → chunk-fetch), then scales
-        every part by ``charged / duration`` — with the last part as
-        the remainder — so the recorded sub-phases sum to the jittered
+        prefetch — preceded by a pipeline-ramp slice when overlapped —
+        injected io.slow penalty → chunk-fetch), then scales every
+        part by ``charged / duration`` — with the last part as the
+        remainder — so the recorded sub-phases sum to the jittered
         charge *exactly*, never to the pre-jitter model cost.
         """
-        costs = self.kernel.costs
-        full = costs.restore_cost(image.total_mib, override_ms)
-        base = min(costs.restore_base_ms, full)
-        pages_part = full - base
-        if in_memory:
-            pages_part *= costs.restore_in_memory_factor
-        if mode is RestoreMode.LAZY:
-            pages_part *= self.lazy_eager_fraction
-        elif mode is RestoreMode.WORKING_SET and ws_record is not None:
-            pages_part *= ws_record.fraction
+        if plan is None:
+            base = min(self.kernel.costs.restore_base_ms, serial_duration)
+            pages_part = serial_duration - base
+        else:
+            base = duration - extra_ms - plan.total_ms
+            pages_part = plan.total_ms
         parts = [(RESTORE_DIGEST_VERIFY, base, {"image": image.image_id})]
+        if plan is not None and plan.pipelined and plan.ramp_ms:
+            parts.append((RESTORE_PIPELINE_RAMP, plan.ramp_ms,
+                          {"workers": plan.workers,
+                           "chunks": plan.chunk_count}))
+            pages_part -= plan.ramp_ms
         if mode is RestoreMode.WORKING_SET and ws_record is not None:
             parts.append((RESTORE_WS_PREFETCH, pages_part,
                           {"pages": ws_record.page_count,
                            "fraction": round(ws_record.fraction, 4)}))
         else:
-            parts.append((RESTORE_CHUNK_FETCH, pages_part,
-                          {"chunks": image_chunk_count(image),
-                           "in_memory": in_memory}))
+            attrs = {"chunks": image_chunk_count(image),
+                     "in_memory": in_memory}
+            if plan is not None:
+                attrs["workers"] = plan.workers
+                attrs["cached_fraction"] = round(plan.cached_fraction, 4)
+            parts.append((RESTORE_CHUNK_FETCH, pages_part, attrs))
         if extra_ms:
             parts.append((RESTORE_CHUNK_FETCH, extra_ms,
                           {"reason": "io-slow"}))

@@ -151,6 +151,7 @@ def serialize_image(image: CheckpointImage) -> bytes:
         "parent_image_id": image.parent_image_id,
         "warm": image.warm,
         "digest": image.digest,
+        "meta_digest": image.meta_digest,
         "vmas": [_vma_to_dict(v) for v in image.vmas],
         "fds": [_fd_to_dict(f) for f in image.fds],
         "runtime_state": _classes_to_jsonable(image.runtime_state),
@@ -213,6 +214,7 @@ def deserialize_image(blob: bytes) -> CheckpointImage:
         parent_image_id=header["parent_image_id"],
         warm=header["warm"],
         digest=header.get("digest"),  # absent in v1 blobs
+        meta_digest=header.get("meta_digest"),  # absent before v2+merkle
     )
     build_image_files(image)
     image.validate()

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 from repro import obs
 from repro.core.manager import PrebakeManager
 from repro.core.store import SnapshotKey
+from repro.criu.chunkcache import HotChunkCache, make_cache
 from repro.faas.registry import FunctionMetadata, FunctionRegistry
 from repro.faas.replica import FunctionReplica, ReplicaState
 from repro.faas.resources import ResourceManager
@@ -36,10 +37,11 @@ class FunctionDeployer:
         self.prebake_manager = prebake_manager
         self.cgroups = CgroupManager(kernel)
         self._replicas: Dict[str, List[FunctionReplica]] = {}
-        # Per-node cache of snapshot chunks already pulled: a replica
-        # landing on a node that has the function's (or a sibling's)
-        # layers pulls only the missing chunks, like any OCI runtime.
-        self._node_chunk_cache: Dict[str, set] = {}
+        # Per-node hot-chunk cache: a replica landing on a node that
+        # has the function's (or a sibling's) layers pulls only the
+        # missing chunks, like any OCI runtime — but bounded, with a
+        # real admission/eviction policy instead of an unbounded set.
+        self._node_chunk_cache: Dict[str, HotChunkCache] = {}
 
     # -- provisioning --------------------------------------------------------------
 
@@ -76,6 +78,9 @@ class FunctionDeployer:
                     policy=metadata.snapshot_policy,
                     restore_mode=metadata.restore_mode,
                     version=metadata.version,
+                    pipeline_workers=metadata.pipeline_workers,
+                    chunk_cache=self._restore_cache(allocation.node.name,
+                                                    metadata),
                 )
                 handle = starter.start(app)
             except Exception:
@@ -102,14 +107,41 @@ class FunctionDeployer:
                   labels={"function": function})
         return replica
 
+    def node_cache(self, node_name: str) -> HotChunkCache:
+        """The node's hot-chunk cache (created on first use)."""
+        cache = self._node_chunk_cache.get(node_name)
+        if cache is None:
+            cache = HotChunkCache()
+            self._node_chunk_cache[node_name] = cache
+        return cache
+
+    def _restore_cache(self, node_name: str,
+                       metadata: FunctionMetadata) -> Optional[HotChunkCache]:
+        """The cache the restore engine should consult, or None.
+
+        Functions opt in per-deployment via ``metadata.cache_policy``;
+        opted-in replicas share the node's cache, so a restore landing
+        where a sibling recently restored skips the warm chunks. The
+        first opt-in on a node fixes the node's policy.
+        """
+        if metadata.start_technique != "prebake":
+            return None
+        if make_cache(metadata.cache_policy) is None:
+            return None
+        cache = self._node_chunk_cache.get(node_name)
+        if cache is None:
+            cache = HotChunkCache(policy=metadata.cache_policy)
+            self._node_chunk_cache[node_name] = cache
+        return cache
+
     def _account_layer_pull(self, metadata: FunctionMetadata,
                             node_name: str) -> None:
         """Account the snapshot layer bytes this provision moved.
 
         Pure byte accounting (transfer time is part of the container
-        provision cost): chunks already cached on the node — from a
-        previous replica of this function or any function sharing its
-        runtime base — are not re-pulled.
+        provision cost): chunks the node's hot-chunk cache already
+        holds — from a previous replica of this function or any
+        function sharing its runtime base — are not re-pulled.
         """
         key = SnapshotKey(
             function=metadata.name,
@@ -120,19 +152,22 @@ class FunctionDeployer:
         layered = self.prebake_manager.store.layered(key)
         if layered is None:
             return
-        cache = self._node_chunk_cache.setdefault(node_name, set())
+        cache = self.node_cache(node_name)
         pulled = cached = 0
         for ref in layered.chunk_refs:
-            if ref.chunk_id in cache:
+            if cache.lookup(ref.chunk_id, ref.size_bytes):
                 cached += ref.size_bytes
             else:
-                cache.add(ref.chunk_id)
                 pulled += ref.size_bytes
         labels = {"function": metadata.name}
         obs.count(self.kernel, "deployer_layer_bytes_pulled_total",
                   value=float(pulled), labels=labels)
         obs.count(self.kernel, "deployer_layer_bytes_cached_total",
                   value=float(cached), labels=labels)
+        obs.gauge(self.kernel, "deployer_node_cache_used_bytes",
+                  float(cache.used_bytes), labels={"node": node_name})
+        obs.gauge(self.kernel, "deployer_node_cache_hit_ratio",
+                  cache.stats.hit_ratio, labels={"node": node_name})
 
     # -- bookkeeping -----------------------------------------------------------------
 

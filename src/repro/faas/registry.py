@@ -30,6 +30,11 @@ class FunctionMetadata:
     restore_mode: RestoreMode = RestoreMode.EAGER
     max_replicas: int = 16
     idle_timeout_ms: float = 60_000.0
+    # Restore-pipeline knobs (PR 5): fetch-pipeline width and the
+    # node-local hot-chunk cache policy ("freq-over-size" | "lru" |
+    # None). The defaults keep the serial single-worker restore path.
+    pipeline_workers: int = 1
+    cache_policy: Optional[str] = None
 
     def make_app(self) -> FunctionApp:
         return self.app_factory()

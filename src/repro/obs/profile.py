@@ -40,15 +40,18 @@ PHASE_APPINIT = "APPINIT"
 
 # Restore sub-phases: how the APPINIT-equivalent restore window splits.
 RESTORE_DIGEST_VERIFY = "restore.digest-verify"      # manifest read + integrity
+RESTORE_PIPELINE_RAMP = "restore.pipeline-ramp"      # fill of the fetch pipeline
 RESTORE_CHUNK_FETCH = "restore.chunk-fetch"          # page data from the store
 RESTORE_WS_PREFETCH = "restore.working-set-prefetch" # REAP recorded-set mapping
 RESTORE_LAZY_FAULT = "restore.lazy-page-fault"       # post-resume demand faults
+RESTORE_SUBTREE_VERIFY = "restore.subtree-verify"    # Merkle re-verify of repairs
 RESTORE_REPAIR = "restore.repair"                    # chunk-level image repair
 RESTORE_BACKOFF = "restore.retry-backoff"            # wait between attempts
 
 STARTUP_PHASES = (PHASE_CLONE, PHASE_EXEC, PHASE_RTS, PHASE_APPINIT)
-RESTORE_PHASES = (RESTORE_DIGEST_VERIFY, RESTORE_CHUNK_FETCH,
-                  RESTORE_WS_PREFETCH, RESTORE_LAZY_FAULT,
+RESTORE_PHASES = (RESTORE_DIGEST_VERIFY, RESTORE_PIPELINE_RAMP,
+                  RESTORE_CHUNK_FETCH, RESTORE_WS_PREFETCH,
+                  RESTORE_LAZY_FAULT, RESTORE_SUBTREE_VERIFY,
                   RESTORE_REPAIR, RESTORE_BACKOFF)
 ALL_PHASES = STARTUP_PHASES + RESTORE_PHASES
 

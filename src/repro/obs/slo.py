@@ -143,7 +143,21 @@ RESTORE_SUCCESS = SLO(
     description="at least 99% of snapshot restores succeed",
 )
 
-DEFAULT_SLOS = (COLD_START_P99, RESTORE_SUCCESS)
+# Hot-chunk cache: once nodes are warm, at least half the restore-time
+# chunk lookups should hit the node-local cache (a persistently cold
+# cache means placement is scattering replicas or the cache is sized
+# below the working set). Evaluates to "no data" on worlds that never
+# enable the cache.
+CHUNK_CACHE_HIT_RATE = SLO(
+    name="chunk-cache-hit-rate",
+    objective=0.50,
+    kind=RATIO,
+    metric="chunk_cache_lookups_total",
+    bad_metric="chunk_cache_misses_total",
+    description="at least 50% of restore chunk lookups hit the node cache",
+)
+
+DEFAULT_SLOS = (COLD_START_P99, RESTORE_SUCCESS, CHUNK_CACHE_HIT_RATE)
 
 
 def evaluate_slos(registry: MetricsRegistry,

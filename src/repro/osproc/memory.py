@@ -11,6 +11,7 @@ so snapshot/restore round-trips are verifiable.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
@@ -20,6 +21,7 @@ PAGE_SIZE = 4096
 PAGES_PER_MIB = (1024 * 1024) // PAGE_SIZE
 
 
+@functools.lru_cache(maxsize=262144)
 def page_content_key(content_tag: str) -> str:
     """Stable content identity of one page.
 
@@ -27,6 +29,12 @@ def page_content_key(content_tag: str) -> str:
     hashing the tag gives the content-addressed identity a dedupling
     page store keys on — two pages with equal tags are "the same page"
     for storage purposes, exactly as equal 4 KiB blocks would be.
+
+    Memoized: the tag string *is* the page identity, and chunking the
+    same snapshot layers re-hashes the same tags on every bake/restore
+    — profiling the restore sweep put this at the top of the flat
+    profile. The cache is bounded so long multi-world benches cannot
+    grow it without limit.
     """
     return hashlib.sha256(content_tag.encode("utf-8")).hexdigest()[:16]
 

@@ -100,6 +100,24 @@ class CostModel:
     # in-memory cache instead of disk (future-work optimization [26]).
     restore_in_memory_factor: float = 0.45
 
+    # -- pipelined restore (overlapped fetch / map) --------------------------
+    #
+    # The serial page-population charge decomposes into a *fetch* stage
+    # (chunk reads from the registry, ~70% of the per-page cost at the
+    # calibrated disk bandwidth — the I/O share REAP and vHive report
+    # for snapshot loads) and a *map* stage (mm population + page-table
+    # writes, the remainder). N fetch workers overlap fetching with
+    # mapping: critical path = pipeline ramp (first chunk arriving)
+    # + max(fetch/effective_workers, map), never their sum.
+    restore_fetch_fraction: float = 0.7
+    # Marginal worker efficiency: worker N adds this fraction of a full
+    # worker's bandwidth (registry-side contention, stragglers).
+    restore_pipeline_efficiency: float = 0.85
+    # Fetch-cost multiplier for chunks served from the node-local
+    # hot-chunk cache instead of the registry (local page cache read
+    # vs a registry round-trip).
+    restore_cache_hit_factor: float = 0.2
+
     # Checkpoint (dump) side — exercised by the build pipeline only;
     # the paper does not evaluate dump latency (it happens at build
     # time), so these are plausible engineering numbers.
@@ -142,6 +160,54 @@ class CostModel:
             + image_mib * self.dump_per_mib_ms
         )
 
+    def plan_restore_pipeline(
+        self,
+        pages_ms: float,
+        workers: int = 1,
+        chunk_count: int = 1,
+        cached_fraction: float = 0.0,
+    ) -> "PipelinePlan":
+        """Cost plan for the page-population stage of one restore.
+
+        ``pages_ms`` is the serial page charge (restore cost minus the
+        base); ``cached_fraction`` the byte fraction of the image's
+        chunks served by the node-local hot-chunk cache. A single
+        worker with no cache hits degenerates to exactly ``pages_ms``
+        (bit-identical to the unpipelined model); more workers overlap
+        fetch with map, bounded below by the slower of the two stages
+        plus the one-chunk ramp, and never slower than serial.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        cached_fraction = min(1.0, max(0.0, cached_fraction))
+        fetch_full = pages_ms * self.restore_fetch_fraction
+        map_ms = pages_ms - fetch_full
+        if workers == 1 and cached_fraction == 0.0:
+            # The unpipelined path: keep the original charge exactly
+            # (fetch + map could differ from pages_ms by a float ulp).
+            return PipelinePlan(workers=1, chunk_count=chunk_count,
+                                cached_fraction=0.0, fetch_ms=fetch_full,
+                                map_ms=map_ms, ramp_ms=0.0,
+                                serial_ms=pages_ms, total_ms=pages_ms)
+        fetch_ms = fetch_full * ((1.0 - cached_fraction)
+                                 + cached_fraction * self.restore_cache_hit_factor)
+        serial_ms = fetch_ms + map_ms
+        if workers == 1:
+            return PipelinePlan(workers=1, chunk_count=chunk_count,
+                                cached_fraction=cached_fraction,
+                                fetch_ms=fetch_ms, map_ms=map_ms,
+                                ramp_ms=0.0, serial_ms=serial_ms,
+                                total_ms=serial_ms)
+        effective = 1.0 + (workers - 1) * self.restore_pipeline_efficiency
+        ramp_ms = fetch_ms / max(1, chunk_count)
+        steady_ms = max(fetch_ms / effective, map_ms)
+        total_ms = min(serial_ms, ramp_ms + steady_ms)
+        return PipelinePlan(workers=workers, chunk_count=chunk_count,
+                            cached_fraction=cached_fraction,
+                            fetch_ms=fetch_ms, map_ms=map_ms,
+                            ramp_ms=max(0.0, total_ms - steady_ms),
+                            serial_ms=serial_ms, total_ms=total_ms)
+
     def jitter(self, median: float, streams: RandomStreams, stream_name: str) -> float:
         """Apply seeded log-normal jitter to a median duration."""
         return streams.lognormal_jitter(stream_name, median, self.noise_sigma)
@@ -149,6 +215,34 @@ class CostModel:
     def with_noise_sigma(self, sigma: float) -> "CostModel":
         """Return a copy with a different noise level (0 = deterministic)."""
         return replace(self, noise_sigma=sigma)
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """How one restore's page-population charge breaks down.
+
+    ``total_ms`` is the wall charge: ``serial_ms`` when unpipelined,
+    ``ramp_ms + max(fetch/effective_workers, map)`` when overlapped.
+    ``ramp_ms`` is the pipeline fill (the map stage idles until the
+    first chunk arrives) — the profiler's ``restore.pipeline-ramp``.
+    """
+
+    workers: int
+    chunk_count: int
+    cached_fraction: float
+    fetch_ms: float
+    map_ms: float
+    ramp_ms: float
+    serial_ms: float
+    total_ms: float
+
+    @property
+    def pipelined(self) -> bool:
+        return self.workers > 1
+
+    @property
+    def overlap_saved_ms(self) -> float:
+        return self.serial_ms - self.total_ms
 
 
 DEFAULT_COST_MODEL = CostModel()
