@@ -16,11 +16,13 @@ taken, which CI uses to assert seeded determinism.
 from __future__ import annotations
 
 import hashlib
+import pathlib
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
-from repro import faults, make_world
+from repro import faults, make_world, obs
 from repro.bench.report import format_table
+from repro.obs.postmortem import PostmortemCollector
 from repro.bench.stats import quantile
 from repro.faas.platform import FaaSPlatform, PlatformConfig
 from repro.faults.errors import PlatformError
@@ -85,6 +87,7 @@ class ChaosTreatment:
     crash_retries: int = 0
     requeues: int = 0
     reaped: int = 0
+    postmortems: int = 0
     schedule_digests: List[str] = field(default_factory=list)
 
     @property
@@ -155,12 +158,29 @@ class ChaosResult:
 
 def _run_repetition(treatment: ChaosTreatment, function: str,
                     technique: str, rate: float, rep: int, seed: int,
-                    requests_per_rep: int, think_ms: float) -> None:
+                    requests_per_rep: int, think_ms: float,
+                    postmortem_dir: Optional[pathlib.Path] = None) -> None:
     world = make_world(
         seed=_derive_seed(seed, f"chaos-{technique}-{rate}-{rep}"),
         observe=True,
     )
     kernel = world.kernel
+    collector = None
+    if postmortem_dir is not None:
+        # Chaos reps are too short for the anomaly detectors to warm
+        # up, so bundles here come from *unrecovered* PlatformErrors —
+        # the requests the resilience machinery failed to absorb.
+        obs.install_flight(kernel)
+        collector = PostmortemCollector(
+            kernel, seed=seed,
+            label=f"chaos-{technique}-r{rate:g}-rep{rep}",
+            recipe={"experiment": "chaos", "function": function,
+                    "technique": technique, "fault_rate": rate,
+                    "rep": rep, "seed": seed,
+                    "requests_per_rep": requests_per_rep,
+                    "think_ms": think_ms},
+            out_dir=postmortem_dir,
+        )
     platform = FaaSPlatform(kernel, PlatformConfig(nodes=2))
     platform.register_function(lambda: make_app(function),
                                start_technique=technique)
@@ -171,12 +191,26 @@ def _run_repetition(treatment: ChaosTreatment, function: str,
             try:
                 platform.invoke(function)
                 treatment.successes += 1
-            except PlatformError:
-                pass
+            except PlatformError as exc:
+                if collector is not None:
+                    from repro.bench.incident import _last_route_trace
+                    collector.on_error(
+                        exc, trace_id=_last_route_trace(kernel))
             kernel.clock.advance(think_ms)
             platform.gc_tick()
     finally:
         faults.uninstall(kernel)
+    # Tracer self-check (chaos worlds are always observed): every
+    # request — including those whose error unwound through the fault
+    # machinery — must leave the span stack empty.
+    leaked = kernel.obs.tracer.open_spans()
+    if leaked:
+        raise obs.SpanError(
+            f"span leak after chaos rep {rep} "
+            f"({technique}, rate={rate:g}): "
+            + ", ".join(s.name for s in leaked))
+    if collector is not None:
+        treatment.postmortems += len(collector.bundles)
     metrics = kernel.obs.metrics
     treatment.cold_waits_ms.extend(platform.cold_start_latencies(function))
     treatment.faults_fired += injector.fired_count()
@@ -199,6 +233,7 @@ def chaos_experiment(
     requests_per_rep: int = 4,
     seed: int = 42,
     think_ms: float = 100.0,
+    postmortem_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> ChaosResult:
     """Sweep the chaos knob over both techniques.
 
@@ -207,7 +242,16 @@ def chaos_experiment(
     ``think_ms`` of idle time and one autoscaler tick between them, so
     crashed replicas get reaped and follow-up requests cold-start
     again), and account per-world metrics into the treatment.
+
+    ``postmortem_dir``, when given, additionally installs a flight
+    recorder per repetition and seals a postmortem bundle into that
+    directory for every request the resilience machinery failed to
+    absorb (an unrecovered :class:`PlatformError`). The recorder and
+    collector read world state without advancing the clock or drawing
+    randomness, so the rendered table — digest included — is
+    byte-identical with or without them.
     """
+    out_dir = pathlib.Path(postmortem_dir) if postmortem_dir else None
     result = ChaosResult(
         function=function,
         repetitions=repetitions,
@@ -219,6 +263,7 @@ def chaos_experiment(
             treatment = ChaosTreatment(fault_rate=rate, technique=technique)
             for rep in range(repetitions):
                 _run_repetition(treatment, function, technique, rate, rep,
-                                seed, requests_per_rep, think_ms)
+                                seed, requests_per_rep, think_ms,
+                                postmortem_dir=out_dir)
             result.treatments.append(treatment)
     return result

@@ -16,7 +16,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from typing import Callable, Dict, List
 
@@ -92,9 +91,33 @@ def _run_ext_pool(args) -> str:
 def _run_chaos(args) -> str:
     """Fault-injection sweep: resilience of both start techniques."""
     from repro.bench.chaos import chaos_experiment
-    return chaos_experiment(
-        repetitions=max(5, args.repetitions // 5), seed=args.seed
-    ).render()
+    result = chaos_experiment(
+        repetitions=max(5, args.repetitions // 5), seed=args.seed,
+        postmortem_dir=args.postmortem_dir,
+    )
+    if args.postmortem_dir:
+        sealed = sum(t.postmortems for t in result.treatments)
+        log.info("chaos.postmortems_written", directory=args.postmortem_dir,
+                 bundles=sealed)
+    return result.render()
+
+
+def _run_incident(args) -> str:
+    """X9: chaos with anomaly detection and postmortem bundles."""
+    from repro.bench.incident import incident_experiment
+    from repro.obs.flight import write_flight_jsonl
+
+    result = incident_experiment(seed=args.seed,
+                                 postmortem_dir=args.postmortem_dir)
+    if args.postmortem_dir:
+        log.info("incident.postmortems_written",
+                 directory=args.postmortem_dir,
+                 bundles=len(result.bundle_paths))
+    if args.flight_out:
+        write_flight_jsonl(args.flight_out, result.flight_events)
+        log.info("incident.flight_written", file=args.flight_out,
+                 events=len(result.flight_events))
+    return result.render()
 
 
 def _run_restore_sweep(args) -> str:
@@ -122,16 +145,24 @@ def _run_trace(args) -> str:
     from repro.bench.harness import run_startup_experiment
     from repro.obs.cli import summarize
     from repro.obs.export import write_trace_jsonl
+    from repro.obs.flight import write_flight_jsonl
 
     repetitions = max(1, min(args.repetitions, 5))
     sink: List[Dict[str, object]] = []
+    flight_sink: List[Dict[str, object]] | None = (
+        [] if args.flight_out else None)
     for technique in ("vanilla", "prebake"):
         run_startup_experiment("markdown", technique,
                                repetitions=repetitions, seed=args.seed,
-                               trace_phases=True, trace_sink=sink)
+                               trace_phases=True, trace_sink=sink,
+                               flight_sink=flight_sink)
     if args.trace_out:
         write_trace_jsonl(args.trace_out, sink)
         log.info("trace.written", file=args.trace_out, spans=len(sink))
+    if args.flight_out and flight_sink is not None:
+        write_flight_jsonl(args.flight_out, flight_sink)
+        log.info("flight.written", file=args.flight_out,
+                 events=len(flight_sink))
     return (f"Lifecycle trace — markdown, vanilla+prebake, "
             f"{repetitions} rep(s) each\n" + summarize(sink))
 
@@ -182,6 +213,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "restore-sweep": _run_restore_sweep,
     "restore-pipeline": _run_restore_pipeline,
     "chaos": _run_chaos,
+    "incident": _run_incident,
     "trace": _run_trace,
     "profile": _run_profile,
 }
@@ -205,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a JSONL lifecycle trace (fig4 and "
                              "trace experiments)")
+    parser.add_argument("--flight-out", default=None, metavar="PATH",
+                        help="write the flight-recorder tape as JSONL "
+                             "(trace and incident experiments)")
+    parser.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                        help="seal postmortem bundles into DIR (chaos "
+                             "and incident experiments)")
     parser.add_argument("--function", default=None, metavar="NAME",
                         help="function to profile (profile experiment; "
                              "default image-resizer)")

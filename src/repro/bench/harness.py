@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import make_world, obs
+from repro.obs.log import bound_trace_provider
 from repro.bench.stats import ConfidenceInterval, bootstrap_median_ci, median
 from repro.bench.tracer import PhaseBreakdown, PhaseTracer
 from repro.bench.workload import LoadGenerator
@@ -94,6 +95,7 @@ def _startup_repetition(
     restore_mode: RestoreMode,
     in_memory: bool,
     trace_sink: Optional[List[Dict[str, object]]] = None,
+    flight_sink: Optional[List[Dict[str, object]]] = None,
 ) -> StartupSample:
     """One hermetic repetition: fresh world, deploy, measure, tear down.
 
@@ -105,11 +107,20 @@ def _startup_repetition(
     world = make_world(seed=_derive_seed(seed, f"rep-{rep}"), costs=costs,
                        observe=trace_sink is not None)
     kernel = world.kernel
+    if flight_sink is not None:
+        # The recorder reads the clock and never advances it, so the
+        # measured sample is bit-identical with or without the tape.
+        obs.install_flight(kernel)
     manager = PrebakeManager(kernel)
     app = factory()
-    with obs.span(kernel, "bench.repetition", rep=rep,
-                  function=app.name, technique=technique,
-                  policy=policy.key):
+    # While the repetition runs under an observed world, structured log
+    # lines emitted with a span open carry its trace id.
+    log_provider = (kernel.obs.tracer.current_trace_id
+                    if kernel.obs is not None else None)
+    with bound_trace_provider(log_provider), \
+            obs.span(kernel, "bench.repetition", rep=rep,
+                     function=app.name, technique=technique,
+                     policy=policy.key):
         snapshot_mib = 0.0
         if technique == "prebake":
             report = manager.deploy(app, policy=policy)
@@ -159,6 +170,15 @@ def _startup_repetition(
             record["trace"] = f"{technique}/{app.name}/rep{rep}/{record['trace']}"
             record.update(rep=rep, function=app.name, technique=technique)
             trace_sink.append(record)
+    if flight_sink is not None:
+        for event in kernel.flight.events():
+            record = event.as_dict()
+            if record.get("trace") is not None:
+                # Qualify like the trace sink: ids restart per world.
+                record["trace"] = (
+                    f"{technique}/{app.name}/rep{rep}/{record['trace']}")
+            record.update(rep=rep, function=app.name, technique=technique)
+            flight_sink.append(record)
     return sample
 
 
@@ -167,10 +187,11 @@ def _startup_repetition_star(packed: Tuple) -> StartupSample:
     return _startup_repetition(*packed)
 
 
-def _parallelizable(function, trace_sink) -> bool:
+def _parallelizable(function, trace_sink, flight_sink) -> bool:
     """Reps can fan out only when every argument survives pickling and
-    no cross-rep mutable state (the trace sink) is involved."""
-    return trace_sink is None and not callable(function)
+    no cross-rep mutable state (a sink list) is involved."""
+    return (trace_sink is None and flight_sink is None
+            and not callable(function))
 
 
 def run_startup_experiment(
@@ -185,6 +206,7 @@ def run_startup_experiment(
     restore_mode: RestoreMode = RestoreMode.EAGER,
     in_memory: bool = False,
     trace_sink: Optional[List[Dict[str, object]]] = None,
+    flight_sink: Optional[List[Dict[str, object]]] = None,
     workers: int = 1,
 ) -> StartupSummary:
     """Measure start-up time over ``repetitions`` fresh worlds.
@@ -205,6 +227,11 @@ def run_startup_experiment(
     it), and the repetition's span dicts — stamped with ``rep``,
     ``function`` and ``technique`` — are appended to the list, ready
     for :func:`repro.obs.export.write_trace_jsonl`.
+
+    ``flight_sink`` likewise installs a flight recorder per repetition
+    and appends the repetition's event dicts — qualified the same way —
+    ready for :func:`repro.obs.flight.write_flight_jsonl`. The recorder
+    never touches the clock or RNG, so samples are unchanged by it.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -222,7 +249,8 @@ def run_startup_experiment(
          trace_phases, costs, restore_mode, in_memory)
         for rep in range(repetitions)
     ]
-    if workers > 1 and repetitions > 1 and _parallelizable(function, trace_sink):
+    if workers > 1 and repetitions > 1 and _parallelizable(function, trace_sink,
+                                                           flight_sink):
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None)
@@ -233,7 +261,8 @@ def run_startup_experiment(
     else:
         for args in packed:
             summary.samples.append(
-                _startup_repetition(*args, trace_sink=trace_sink))
+                _startup_repetition(*args, trace_sink=trace_sink,
+                                    flight_sink=flight_sink))
     return summary
 
 

@@ -47,6 +47,8 @@ class PrebakeManager:
         with obs.span(self.kernel, "deploy", function=app.name,
                       version=version, policy=policy.key):
             report = self.prebaker.bake(app, policy=policy, version=version)
+        obs.record(self.kernel, obs.flight.DEPLOY, function=app.name,
+                   version=version, policy=policy.key)
         obs.count(self.kernel, "prebake_deploy_total",
                   labels={"function": app.name})
         return report

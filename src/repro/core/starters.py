@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import faults, obs
+from repro.obs.log import get_logger
 from repro.obs.profile import (
     RESTORE_BACKOFF,
     RESTORE_REPAIR,
@@ -27,6 +28,8 @@ from repro.osproc.kernel import Kernel
 from repro.osproc.process import Process
 from repro.runtime import RUNTIME_KINDS
 from repro.runtime.base import ManagedRuntime, Request, Response
+
+_log = get_logger("prebake")
 
 
 class StartError(PlatformError):
@@ -225,6 +228,8 @@ class PrebakeStarter(Starter):
                 # Beyond repair: quarantine the poisoned snapshot so no
                 # other replica restores it, then rebake when we can.
                 self.store.quarantine(key)
+                obs.record(kernel, obs.flight.SNAPSHOT_QUARANTINED,
+                           function=app.name, version=self.version)
                 obs.count(kernel, "prebake_snapshot_quarantined_total",
                           labels=labels)
                 if self.rebake is not None:
@@ -245,6 +250,15 @@ class PrebakeStarter(Starter):
                       labels={**labels, "reason": type(failure).__name__})
             if attempt < self.retry_policy.max_attempts:
                 backoff = self.retry_policy.backoff_ms(attempt)
+                # Inside the start span: CLIs that bound a trace
+                # provider get this line stamped with trace_id=.
+                _log.warning("restore.retry", function=app.name,
+                             attempt=attempt,
+                             reason=type(failure).__name__)
+                obs.record(kernel, obs.flight.RESTORE_RETRY,
+                           function=app.name, attempt=attempt,
+                           backoff_ms=round(backoff, 3),
+                           reason=type(failure).__name__)
                 obs.observe(kernel, "prebake_retry_backoff_ms", backoff,
                             labels=labels)
                 obs.count(kernel, "prebake_restore_retries_total", labels=labels)
@@ -260,6 +274,12 @@ class PrebakeStarter(Starter):
             )
         if not self.fallback:
             raise failure
+        _log.warning("restore.fallback", function=app.name,
+                     reason=type(failure).__name__,
+                     attempts=self.retry_policy.max_attempts)
+        obs.record(kernel, obs.flight.RESTORE_FALLBACK, function=app.name,
+                   reason=type(failure).__name__,
+                   attempts=self.retry_policy.max_attempts)
         obs.count(kernel, "prebake_fallback_total", labels=labels)
         with obs.span(kernel, "prebake.fallback", function=app.name,
                       reason=type(failure).__name__):
@@ -312,6 +332,8 @@ class PrebakeStarter(Starter):
                 # (e.g. corruption predating the manifest); fall through
                 # to quarantine + rebake.
                 return False
+        obs.record(kernel, obs.flight.SNAPSHOT_REPAIRED,
+                   function=key.function, chunks=repaired_chunks)
         obs.count(kernel, "prebake_snapshot_repaired_total", labels=labels)
         obs.count(kernel, "snapshot_chunks_repaired_total",
                   value=float(repaired_chunks), labels=labels)

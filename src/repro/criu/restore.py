@@ -145,6 +145,9 @@ class RestoreEngine:
         with obs.span(kernel, "criu.restore", image=image.image_id,
                       image_mib=round(image.total_mib, 3), mode=mode.value,
                       in_memory=in_memory, warm=image.warm):
+            obs.record(kernel, obs.flight.RESTORE_STARTED,
+                       image=image.image_id, mode=mode.value,
+                       image_mib=round(image.total_mib, 3))
             try:
                 self._transmute(proc, image)
                 with contextlib.ExitStack() as pipeline_spans:
@@ -227,6 +230,9 @@ class RestoreEngine:
                               labels={"phase": "prefetch"})
                     obs.gauge(kernel, "ws_prefetch_fraction",
                               ws_record.fraction)
+        obs.record(kernel, obs.flight.RESTORE_FINISHED,
+                   image=image.image_id, mode=mode.value,
+                   duration_ms=round(charged, 3))
         obs.count(kernel, "criu_restore_total", labels={"mode": mode.value})
         obs.observe(kernel, "criu_restore_duration_ms", charged,
                     labels={"mode": mode.value})
@@ -244,6 +250,8 @@ class RestoreEngine:
         """
         kernel = self.kernel
         if faults.should_fire(kernel, faults.RESTORE_FAIL, detail=image.image_id):
+            obs.record(kernel, obs.flight.RESTORE_FAILED,
+                       image=image.image_id, reason="fail")
             obs.count(kernel, "criu_restore_failures_total",
                       labels={"reason": "fail"})
             raise RestoreFailed(
@@ -259,6 +267,9 @@ class RestoreEngine:
                 # never completed; keep it on the start-up ledger.
                 kernel.profile.record(RESTORE_CHUNK_FETCH, hang_ms,
                                       pid=proc.pid, reason="hang")
+            obs.record(kernel, obs.flight.RESTORE_FAILED,
+                       image=image.image_id, reason="hang",
+                       hang_ms=round(hang_ms, 3))
             obs.count(kernel, "criu_restore_failures_total",
                       labels={"reason": "hang"})
             raise RestoreFailed(
@@ -286,6 +297,10 @@ class RestoreEngine:
             if cache.lookup(cid, size_bytes):
                 hits += 1
                 hit_bytes += size_bytes
+        obs.record(kernel, obs.flight.CACHE_LOOKUP, image=image.image_id,
+                   lookups=len(index), hits=hits,
+                   hit_fraction=round(hit_bytes / total_bytes, 4)
+                   if total_bytes else 0.0)
         obs.count(kernel, "chunk_cache_lookups_total", value=float(len(index)))
         obs.count(kernel, "chunk_cache_hits_total", value=float(hits))
         obs.count(kernel, "chunk_cache_misses_total",

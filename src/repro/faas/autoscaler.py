@@ -78,6 +78,9 @@ class Autoscaler:
                 at_ms=now, function=function, action="reap",
                 replicas_after=remaining,
             ))
+            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
+                       function=function, action="reap",
+                       replicas_after=remaining)
             obs.count(self.kernel, "autoscaler_actions_total",
                       labels={"function": function, "action": "reap"})
 
@@ -97,6 +100,9 @@ class Autoscaler:
                 at_ms=self.kernel.clock.now, function=function, action="heal",
                 replicas_after=remaining,
             ))
+            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
+                       function=function, action="heal",
+                       replicas_after=remaining)
             obs.count(self.kernel, "autoscaler_actions_total",
                       labels={"function": function, "action": "heal"})
 
@@ -115,6 +121,9 @@ class Autoscaler:
                     at_ms=now, function=function, action="gc",
                     replicas_after=remaining,
                 ))
+                obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
+                           function=function, action="gc",
+                           replicas_after=remaining)
                 obs.count(self.kernel, "autoscaler_actions_total",
                           labels={"function": function, "action": "gc"})
                 obs.gauge(self.kernel, "autoscaler_replicas", remaining,
@@ -140,6 +149,9 @@ class Autoscaler:
                 at_ms=self.kernel.clock.now, function=function, action="scale-up",
                 replicas_after=current + added,
             ))
+            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
+                       function=function, action="scale-up",
+                       replicas_after=current + added)
             obs.count(self.kernel, "autoscaler_actions_total",
                       labels={"function": function, "action": "scale-up"})
             obs.gauge(self.kernel, "autoscaler_replicas", current + added,

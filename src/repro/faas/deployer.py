@@ -99,6 +99,10 @@ class FunctionDeployer:
                                       cgroup=cgroup)
             provision_span.set(replica_id=replica.replica_id)
         self._replicas.setdefault(function, []).append(replica)
+        obs.record(self.kernel, obs.flight.REPLICA_PROVISIONED,
+                   function=function, replica_id=replica.replica_id,
+                   technique=metadata.start_technique,
+                   node=allocation.node.name)
         obs.count(self.kernel, "deployer_provision_total",
                   labels={"function": function,
                           "technique": metadata.start_technique})
@@ -201,6 +205,8 @@ class FunctionDeployer:
             for replica in dead:
                 replica.terminate()
                 reaped.append(replica)
+                obs.record(self.kernel, obs.flight.REPLICA_REAPED,
+                           function=name, replica_id=replica.replica_id)
                 obs.count(self.kernel, "deployer_reaped_total",
                           labels={"function": name})
             if dead:

@@ -96,6 +96,22 @@ class PrometheusLite:
     def subscribe(self, callback: Callable[[Alert], None]) -> None:
         self._subscribers.append(callback)
 
+    def attach_anomaly_monitor(self, monitor) -> None:
+        """Route online :class:`~repro.obs.anomaly.AnomalyEvent`s into
+        the alert path: each flagged window fires immediately as a
+        synthetic ``anomaly:<detector>`` alert — no polling
+        :meth:`evaluate` pass needed — and is delivered to the same
+        subscribers as threshold and SLO-burn alerts."""
+        def deliver(event) -> None:
+            rule = AlertRule(
+                name=f"anomaly:{event.detector}",
+                metric=event.metric,
+                threshold=event.threshold,
+            )
+            self._fire(rule, event.score, event.at_ms)
+
+        monitor.subscribe(deliver)
+
     def _fire(self, rule: AlertRule, value: float, now_ms: float) -> Alert:
         alert = Alert(rule=rule, value=value, at_ms=now_ms)
         self.fired.append(alert)

@@ -94,6 +94,8 @@ class FunctionRouter:
             # (NullSpan.context is None, so unobserved worlds stay bare.)
             if request.trace is None:
                 request.trace = route_span.context
+            obs.record(self.kernel, obs.flight.REQUEST_ADMITTED,
+                       function=function, request_id=request.request_id)
             while True:
                 replica = self._acquire(function, deadline)
                 if replica is None:
@@ -102,10 +104,15 @@ class FunctionRouter:
                     requeues += 1
                     obs.count(self.kernel, "router_requeued_total",
                               labels={"function": function})
+                    obs.record(self.kernel, obs.flight.REQUEST_REQUEUED,
+                               function=function, requeues=requeues)
                     if self.kernel.clock.now + self.requeue_backoff_ms > deadline:
                         waited = self.kernel.clock.now - arrived
                         obs.count(self.kernel, "router_timeouts_total",
                                   labels={"function": function})
+                        obs.record(self.kernel, obs.flight.REQUEST_TIMEOUT,
+                                   function=function,
+                                   waited_ms=round(waited, 3))
                         raise RequestTimeout(
                             f"request {request.request_id} for {function!r} "
                             f"timed out after {waited:.1f} ms in queue",
@@ -122,11 +129,19 @@ class FunctionRouter:
                     crash_retries += 1
                     obs.count(self.kernel, "router_crash_retries_total",
                               labels={"function": function})
+                    obs.record(self.kernel, obs.flight.REQUEST_CRASH_RETRY,
+                               function=function,
+                               replica_id=replica.replica_id,
+                               crash_retries=crash_retries)
                     if crash_retries > self.max_crash_retries:
                         raise
             route_span.set(cold_start=cold, replica_id=replica.replica_id,
                            technique=replica.technique, requeues=requeues,
                            crash_retries=crash_retries)
+            obs.record(self.kernel, obs.flight.REQUEST_ROUTED,
+                       function=function, cold_start=cold,
+                       replica_id=replica.replica_id,
+                       technique=replica.technique)
         record = InvocationRecord(
             function=function,
             cold_start=cold,

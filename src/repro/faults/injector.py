@@ -78,6 +78,9 @@ class FaultInjector:
         ))
         if fires:
             self.fired[site] = self.fired.get(site, 0) + 1
+            obs.record(self.kernel, obs.flight.FAULT_INJECTED, site=site,
+                       seq=self._seq, fires=self.fired[site],
+                       detail=detail or None)
             obs.count(self.kernel, "fault_injected_total", labels={"site": site})
         return fires
 

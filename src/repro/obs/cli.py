@@ -2,13 +2,14 @@
 
 Default output is a per-span-name stage table (count, total, mean,
 p50/p95, max — exact percentiles, the trace has every sample);
-``--tree`` prints the nested spans of one trace instead. Two
+``--tree`` prints the nested spans of one trace instead. Three
 subcommands audit other recorded artifacts:
 
     python -m repro.obs.cli trace.jsonl
     python -m repro.obs.cli trace.jsonl --tree --trace t-0001
     python -m repro.obs.cli alerts metrics.jsonl     # SLO burn rates
     python -m repro.obs.cli profile profile.json     # phase breakdown
+    python -m repro.obs.cli postmortem bundles/      # incident bundles
 
 ``alerts`` reconstructs a metrics registry from a JSONL dump and
 evaluates the stack's SLO contract against it — exit 1 when any SLO
@@ -160,6 +161,47 @@ def alerts_main(argv: List[str]) -> int:
     return 1 if breached else 0
 
 
+def postmortem_main(argv: List[str]) -> int:
+    """Render sealed postmortem bundles (one file or a directory)."""
+    from repro.obs.postmortem import PostmortemBundle, load_bundles
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.cli postmortem",
+        description="Render postmortem bundles sealed by the incident "
+                    "pipeline.",
+    )
+    parser.add_argument("path", help="bundle JSON file, or a directory of "
+                                     "postmortem-*.json bundles")
+    parser.add_argument("--flight-tail", type=int, default=20,
+                        help="flight-tape events to show per bundle")
+    parser.add_argument("--replay", action="store_true",
+                        help="print only each bundle's replay recipe as "
+                             "JSON lines")
+    args = parser.parse_args(argv)
+    target = pathlib.Path(args.path)
+    try:
+        if target.is_dir():
+            bundles = load_bundles(target)
+            if not bundles:
+                log.warning("postmortem.empty", directory=str(target))
+                return 1
+        else:
+            bundles = [PostmortemBundle.load(target)]
+    except (OSError, ValueError, KeyError) as exc:
+        log.error("postmortem.unreadable", path=args.path, reason=str(exc))
+        return 2
+    if args.replay:
+        import json
+        for bundle in bundles:
+            print(json.dumps(bundle.replay, sort_keys=True))
+        return 0
+    for index, bundle in enumerate(bundles):
+        if index:
+            print()
+        print(bundle.render(flight_tail=args.flight_tail))
+    return 0
+
+
 def profile_main(argv: List[str]) -> int:
     """Re-render a phase-profile dump (critical path + folded stacks)."""
     from repro.bench.profile import load_profile_json, result_from_dict
@@ -211,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return alerts_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "postmortem":
+        return postmortem_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.trace_file == "-":

@@ -1,0 +1,269 @@
+"""Flight recorder: an always-on bounded ring of lifecycle events.
+
+The black box of the platform. Instrumented layers append structured
+:class:`FlightEvent` records — request admitted/routed, restore phase
+transitions, fault injections, retries, cache traffic, autoscaler
+decisions — into a bounded ring buffer on the kernel
+(``kernel.flight``). When an incident is declared the *last N* events
+are exactly the window a postmortem needs: what the platform was doing
+right before things went wrong.
+
+Design constraints, in order:
+
+* **Near-zero cost when disabled.** Instrumentation goes through
+  :func:`repro.obs.record`, which is one attribute load when
+  ``kernel.flight is None`` (the default) — the same discipline as the
+  tracer and the fault injector.
+* **No interference with the simulation.** Recording reads the clock
+  and never advances it, and draws no randomness, so a recorded world
+  replays bit-identically to an unrecorded one under the same seed.
+* **Bounded.** The ring holds ``capacity`` events; older events are
+  evicted oldest-first and only counted (``dropped``), never resized.
+
+Events carry the active trace/span ids when a tracer has a span open,
+so a flight tape can be joined against the span tree of the same run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Union
+
+FLIGHT_SCHEMA = 1
+
+# Default ring capacity: enough to cover the tail of a burst (a cold
+# start emits ~a dozen events) without holding a whole run.
+DEFAULT_CAPACITY = 2048
+
+# -- canonical event kinds ----------------------------------------------------
+#
+# Kinds are plain strings (new instrumentation points need no central
+# change), but the set the platform emits is listed here so tooling and
+# tests have one vocabulary.
+
+REQUEST_ADMITTED = "request.admitted"        # router accepted a request
+REQUEST_ROUTED = "request.routed"            # request dispatched + served
+REQUEST_REQUEUED = "request.requeued"        # capacity exhausted, backoff
+REQUEST_TIMEOUT = "request.timeout"          # dispatch deadline blown
+REQUEST_CRASH_RETRY = "request.crash-retry"  # replica died mid-request
+REPLICA_PROVISIONED = "replica.provisioned"  # deployer brought one up
+REPLICA_REAPED = "replica.reaped"            # health check reaped a corpse
+RESTORE_STARTED = "restore.started"          # criu restore began
+RESTORE_FINISHED = "restore.finished"        # process resumed
+RESTORE_FAILED = "restore.failed"            # restore died / hung
+RESTORE_RETRY = "restore.retry"              # starter backing off to retry
+RESTORE_FALLBACK = "restore.fallback"        # starter gave up, went vanilla
+SNAPSHOT_QUARANTINED = "snapshot.quarantined"
+SNAPSHOT_REPAIRED = "snapshot.repaired"
+CACHE_LOOKUP = "cache.lookup"                # chunk-cache pass summary
+FAULT_INJECTED = "fault.injected"            # injector fired a site
+AUTOSCALER_ACTION = "autoscaler.action"      # scale-up / gc / reap / heal
+DEPLOY = "deploy"                            # function (re)deployed/baked
+ANOMALY = "anomaly.detected"                 # online detector flagged
+METRIC_SAMPLE = "metric.sample"              # optional raw metric sample
+
+EVENT_KINDS = (
+    REQUEST_ADMITTED, REQUEST_ROUTED, REQUEST_REQUEUED, REQUEST_TIMEOUT,
+    REQUEST_CRASH_RETRY, REPLICA_PROVISIONED, REPLICA_REAPED,
+    RESTORE_STARTED, RESTORE_FINISHED, RESTORE_FAILED, RESTORE_RETRY,
+    RESTORE_FALLBACK, SNAPSHOT_QUARANTINED, SNAPSHOT_REPAIRED,
+    CACHE_LOOKUP, FAULT_INJECTED, AUTOSCALER_ACTION, DEPLOY, ANOMALY,
+    METRIC_SAMPLE,
+)
+
+
+class FlightError(Exception):
+    """Malformed flight event during decode."""
+
+
+class FlightEvent:
+    """One structured lifecycle event on the flight tape."""
+
+    __slots__ = ("seq", "at_ms", "kind", "trace_id", "span_id", "attrs")
+
+    def __init__(self, seq: int, at_ms: float, kind: str,
+                 trace_id: Optional[str] = None,
+                 span_id: Optional[int] = None,
+                 attrs: Optional[Dict[str, object]] = None) -> None:
+        self.seq = seq
+        self.at_ms = at_ms
+        self.kind = kind
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (one JSONL tape line)."""
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "at_ms": self.at_ms,
+            "kind": self.kind,
+            "attrs": dict(self.attrs),
+        }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.span_id is not None:
+            record["span"] = self.span_id
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FlightEvent":
+        """Inverse of :meth:`as_dict`; raises :class:`FlightError` on
+        anything that is not a flight event record."""
+        if not isinstance(record, dict) or "kind" not in record:
+            raise FlightError(f"not a flight event record: {record!r}")
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                at_ms=float(record["at_ms"]),
+                kind=str(record["kind"]),
+                trace_id=(None if record.get("trace") is None
+                          else str(record["trace"])),
+                span_id=(None if record.get("span") is None
+                         else int(record["span"])),  # type: ignore[arg-type]
+                attrs=dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FlightError(f"malformed flight event: {exc}") from None
+
+    def line(self) -> str:
+        """Human-oriented one-line rendering (postmortem tail)."""
+        blob = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        trace = f" trace={self.trace_id}" if self.trace_id else ""
+        return (f"{self.seq:06d} {self.at_ms:12.3f}ms "
+                f"{self.kind:<20}{trace} {blob}".rstrip())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlightEvent({self.kind!r} seq={self.seq} at={self.at_ms})"
+
+
+class FlightRecorder:
+    """Bounded per-world event ring.
+
+    ``clock`` is anything with a ``now`` property on simulated
+    milliseconds; ``tracer`` (optional) supplies trace/span correlation
+    for events recorded while a span is open. ``sample_metrics`` opts
+    the tape into raw :data:`METRIC_SAMPLE` events from the metrics
+    helpers — off by default so lifecycle events are not evicted by
+    high-rate samples.
+    """
+
+    def __init__(self, clock, tracer=None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 sample_metrics: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.tracer = tracer
+        self.capacity = capacity
+        self.sample_metrics = sample_metrics
+        self._ring: Deque[FlightEvent] = deque(maxlen=capacity)
+        self.total = 0          # events ever recorded
+        self._next_seq = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind: str, **attrs: object) -> FlightEvent:
+        """Append one event (evicting the oldest when full).
+
+        Reads the clock, never advances it; draws no randomness.
+        """
+        trace_id: Optional[str] = None
+        span_id: Optional[int] = None
+        tracer = self.tracer
+        if tracer is not None:
+            context = tracer.current_context()
+            if context is not None:
+                trace_id = context.trace_id
+                span_id = context.span_id
+        event = FlightEvent(
+            seq=self._next_seq,
+            at_ms=self.clock.now,
+            kind=kind,
+            trace_id=trace_id,
+            span_id=span_id,
+            attrs=attrs,
+        )
+        self._next_seq += 1
+        self.total += 1
+        self._ring.append(event)
+        return event
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self.total - len(self._ring)
+
+    def events(self, kind: Optional[str] = None) -> List[FlightEvent]:
+        """Buffered events oldest-first (optionally one kind)."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.kind == kind]
+
+    def last(self, n: int) -> List[FlightEvent]:
+        """The newest ``n`` events, oldest-first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self._ring)
+
+
+# -- tape (de)serialization ---------------------------------------------------
+
+
+def events_to_jsonl(events: Iterable[Union[FlightEvent, Dict[str, object]]]
+                    ) -> str:
+    """One JSON object per line, oldest-first.
+
+    Accepts :class:`FlightEvent` objects or their ``as_dict`` records —
+    harness sinks accumulate the latter (stamped with ``rep`` and
+    ``technique``), live recorders hold the former.
+    """
+    lines = [
+        json.dumps(e if isinstance(e, dict) else e.as_dict(), sort_keys=True)
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flight_jsonl(path: Union[str, pathlib.Path],
+                       events: Iterable[Union[FlightEvent, Dict[str, object]]]
+                       ) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(events_to_jsonl(events), encoding="utf-8")
+    return path
+
+
+def read_flight_jsonl(source: Union[str, pathlib.Path]) -> List[FlightEvent]:
+    """Load flight events from a JSONL file path or raw JSONL text."""
+    if isinstance(source, pathlib.Path):
+        text = source.read_text(encoding="utf-8")
+    else:
+        text = str(source)
+        if "\n" not in text and not text.lstrip().startswith("{"):
+            text = pathlib.Path(text).read_text(encoding="utf-8")
+    events = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FlightError(f"bad flight line {lineno}: {exc}") from None
+        events.append(FlightEvent.from_dict(record))
+    return events

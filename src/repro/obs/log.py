@@ -5,14 +5,57 @@ can capture them; everything *about* the run (timings, file writes,
 errors) goes through here as ``key=value`` lines on stderr:
 
     level=info component=bench event=experiment.done name=fig4 wall_s=2.1
+
+Log lines can be correlated with the active trace: a bench CLI binds
+the world tracer via :func:`set_trace_provider` (or the scoped
+:func:`bound_trace_provider`), and every line emitted while a span is
+open then carries ``trace_id=…`` — the same id the span tree, flight
+tape, and postmortem bundle use for that request.
 """
 
 from __future__ import annotations
 
+import contextlib
 import sys
-from typing import Dict, Optional, TextIO
+from typing import Callable, Dict, Iterator, Optional, TextIO
 
 LEVELS = ("debug", "info", "warning", "error")
+
+# Process-wide hook returning the active trace id (or None when no
+# span is open). One world runs at a time per thread in the bench
+# CLIs, so a single slot is enough; parallel harness workers each run
+# in their own process.
+_trace_provider: Optional[Callable[[], Optional[str]]] = None
+
+
+def set_trace_provider(
+        provider: Optional[Callable[[], Optional[str]]]) -> None:
+    """Install (or clear, with None) the active-trace-id hook.
+
+    Typically ``tracer.current_trace_id`` of the world under test.
+    """
+    global _trace_provider
+    _trace_provider = provider
+
+
+def active_trace_id() -> Optional[str]:
+    """The trace id log lines would be stamped with right now."""
+    if _trace_provider is None:
+        return None
+    return _trace_provider()
+
+
+@contextlib.contextmanager
+def bound_trace_provider(
+        provider: Optional[Callable[[], Optional[str]]]) -> Iterator[None]:
+    """Scoped :func:`set_trace_provider` (restores the previous hook)."""
+    global _trace_provider
+    previous = _trace_provider
+    _trace_provider = provider
+    try:
+        yield
+    finally:
+        _trace_provider = previous
 
 
 def _format_field(value: object) -> str:
@@ -43,6 +86,10 @@ class StructuredLogger:
         stream = self._stream if self._stream is not None else sys.stderr
         parts = [f"level={level}", f"component={self.component}",
                  f"event={event}"]
+        if "trace_id" not in fields and _trace_provider is not None:
+            trace_id = _trace_provider()
+            if trace_id is not None:
+                parts.append(f"trace_id={_format_field(trace_id)}")
         parts.extend(f"{key}={_format_field(value)}"
                      for key, value in fields.items())
         print(" ".join(parts), file=stream)

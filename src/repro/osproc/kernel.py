@@ -67,6 +67,10 @@ class Kernel:
         # or None; installed lazily by the first WORKING_SET restore so
         # eager-only worlds never pay for (or observe) it.
         self.working_sets = None
+        # Flight recorder (repro.obs.flight.FlightRecorder) or None;
+        # lifecycle instrumentation treats None as "recorder off" and
+        # pays one attribute load per event site.
+        self.flight = None
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
         self._tracees: Dict[int, int] = {}  # target pid -> tracer pid

@@ -1,0 +1,107 @@
+"""Acceptance tests for the X9 incident pipeline (issue criteria).
+
+* a seeded run with injected ``restore.fail`` seals >= 1 postmortem
+  bundle and the detector flags the injected-fault window;
+* a clean run (fault rate 0) flags nothing and seals nothing;
+* replaying a bundle's recipe deterministically reproduces the same
+  fault-schedule digest and the same anomaly set;
+* the chaos sweep's rendered table is byte-identical with and without
+  postmortem collection.
+"""
+
+from repro.bench.chaos import chaos_experiment
+from repro.bench.incident import (
+    incident_experiment,
+    replay_recipe,
+)
+
+# One seeded run shared by the acceptance assertions (the experiment
+# drives ~18 requests through the full platform; re-running it per
+# test would triple the wall time for no extra coverage).
+_RESULT = {}
+
+
+def _run(tmp_path_factory):
+    if "run" not in _RESULT:
+        out = tmp_path_factory.mktemp("bundles")
+        _RESULT["run"] = incident_experiment(seed=42, postmortem_dir=out)
+    return _RESULT["run"]
+
+
+class TestInjectedFaultRun:
+    def test_seals_bundles_with_replayable_recipes(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        assert result.bundles
+        assert len(result.bundle_paths) == len(result.bundles)
+        for bundle in result.bundles:
+            assert bundle.replay["fault_site"] == "restore.fail"
+            assert bundle.replay["seed"] == 42
+
+    def test_detector_flags_the_fault_window(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        flagged = result.anomalies_in_fault_window()
+        assert flagged
+        detectors = {e.detector for e in flagged}
+        assert "cold-start-latency" in detectors
+        assert "restore-failure-rate" in detectors
+        # Warmup stayed quiet: every flag overlaps the fault interval.
+        assert len(flagged) == len(result.anomalies)
+
+    def test_fallback_absorbs_the_faults(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        assert result.faults_fired > 0
+        assert result.errors == 0  # vanilla fallback kept serving
+
+    def test_flight_tape_saw_the_injections(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        kinds = [e["kind"] for e in result.flight_events]
+        assert "fault.injected" in kinds
+        assert "restore.failed" in kinds
+        assert "anomaly.detected" in kinds
+
+    def test_replay_reproduces_digest_and_anomalies(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        replayed = replay_recipe(result.bundles[0].replay)
+        assert replayed.schedule_digest == result.schedule_digest
+        assert replayed.anomaly_signature() == result.anomaly_signature()
+        assert len(replayed.bundles) == len(result.bundles)
+
+
+class TestCleanRun:
+    def test_no_flags_and_no_bundles_without_faults(self):
+        result = incident_experiment(seed=42, fault_rate=0.0,
+                                     fault_requests=2,
+                                     cooldown_requests=0)
+        assert result.anomalies == []
+        assert result.bundles == []
+        assert result.errors == 0
+        assert result.faults_fired == 0
+
+
+class TestRenderAndCli:
+    def test_render_mentions_the_flags(self, tmp_path_factory):
+        result = _run(tmp_path_factory)
+        text = result.render()
+        assert "cold-start-latency" in text
+        assert "fault schedule digest" in text
+        assert f"postmortem bundles sealed: {len(result.bundles)}" in text
+
+    def test_bench_cli_runs_incident(self, tmp_path, capsys):
+        from repro.bench.cli import main as bench_main
+
+        code = bench_main(["incident", "--postmortem-dir",
+                           str(tmp_path / "pm"),
+                           "--flight-out", str(tmp_path / "tape.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Incident run" in out
+        assert (tmp_path / "tape.jsonl").exists()
+        assert list((tmp_path / "pm").glob("postmortem-*.json"))
+
+
+class TestChaosPostmortemPath:
+    def test_table_unchanged_by_collection(self, tmp_path):
+        plain = chaos_experiment(repetitions=2, seed=42)
+        collected = chaos_experiment(repetitions=2, seed=42,
+                                     postmortem_dir=tmp_path)
+        assert collected.render() == plain.render()
