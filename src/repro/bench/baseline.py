@@ -365,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Same up-front sanity check as prebake-bench: a typo'd override
+    # should be a clear exit-2 message, not a downstream traceback.
+    for flag, value in (("--repetitions", args.repetitions),
+                        ("--seed", args.seed)):
+        if value is not None and value < 1:
+            print(f"{flag} must be a positive integer, got {value}",
+                  file=sys.stderr)
+            return 2
     names = args.benches or sorted(BENCHES)
     unknown = [n for n in names if n not in BENCHES]
     if unknown:

@@ -120,6 +120,14 @@ def _run_incident(args) -> str:
     return result.render()
 
 
+def _run_shard_chaos(args) -> str:
+    """X10: replication factor x storage-node failure sweep."""
+    from repro.bench.shard_chaos import shard_chaos_experiment
+    return shard_chaos_experiment(
+        repetitions=max(5, min(args.repetitions, 12)), seed=args.seed,
+    ).render()
+
+
 def _run_restore_sweep(args) -> str:
     """Fig4 extension: EAGER/LAZY/WORKING_SET sweep + registry dedup."""
     from repro.bench.restore_sweep import restore_sweep
@@ -214,6 +222,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "restore-pipeline": _run_restore_pipeline,
     "chaos": _run_chaos,
     "incident": _run_incident,
+    "shard-chaos": _run_shard_chaos,
     "trace": _run_trace,
     "profile": _run_profile,
 }
@@ -260,8 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def validate_args(args) -> str | None:
+    """Sanity-check numeric knobs; the error message, or None if fine.
+
+    A typo'd ``-r 0`` or negative seed would otherwise surface as a
+    confusing downstream traceback (or an experiment that silently
+    measures nothing), so the CLI rejects them up front with exit 2.
+    """
+    if args.repetitions < 1:
+        return (f"--repetitions must be a positive integer, "
+                f"got {args.repetitions}")
+    if args.seed < 1:
+        return f"--seed must be a positive integer, got {args.seed}"
+    if args.workers < 1:
+        return f"--workers must be a positive integer, got {args.workers}"
+    return None
+
+
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    problem = validate_args(args)
+    if problem is not None:
+        log.error("cli.bad_argument", message=problem)
+        return 2
     if args.list:
         for name in EXPERIMENTS:
             print(name)

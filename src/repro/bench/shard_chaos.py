@@ -1,0 +1,266 @@
+"""X10 — shard-chaos: cold starts through a failing snapshot store.
+
+Sweeps ``replication_factor`` x storage-fault pressure on a platform
+whose snapshot registry is the sharded, replicated store from
+:mod:`repro.criu.shardstore`, and reports what the paper's prebake
+claim turns into when the store itself is a distributed system: does a
+storage-node crash mid-window break cold starts (failed requests), or
+merely degrade them (bounded p99 inflation, degraded restores,
+vanilla fallbacks)?
+
+Each repetition is a fresh world; at fault pressure > 0 one storage
+node — ``store-(rep mod N)``, so the sweep kills *every* node across
+repetitions — is deterministically crashed halfway through the request
+window, on top of seeded ``store.node_down`` / ``store.partition`` /
+``store.slow_shard`` injection. Replicas are terminated between
+requests so every request pays a full cold start through the store.
+
+The expected shape, asserted by CI: at RF>=2 the killed node's windows
+are served by surviving replicas — requests never fail and p99 stays
+within a small multiple of the clean baseline; at RF=1 the dead node's
+windows are unobtainable and cold starts ride the retry → vanilla
+fallback ladder instead of failing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro import faults, make_world
+from repro.bench.report import format_table
+from repro.bench.stats import quantile
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.faults.errors import PlatformError
+from repro.faults.model import (
+    STORE_NODE_DOWN,
+    STORE_PARTITION,
+    STORE_SLOW_SHARD,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.functions.base import make_app
+from repro.sim.rng import _derive_seed
+
+# How the single pressure knob fans out over the storage fault sites.
+# Partition is evaluated per replica hop and node_down per restore, so
+# both run at a small fraction — a restore only fails when *every*
+# replica of some window is unreachable, and the sweep's point is that
+# the deterministic mid-window kill dominates: RF>=2 should mostly
+# *degrade* (survivor hops), not fall back. Slow shards are harmless
+# latency but are evaluated per window, so they run scaled down too or
+# their accumulated tax would drown the quorum-hop signal.
+SITE_RATE_SCALE = {
+    STORE_NODE_DOWN: 0.1,
+    STORE_PARTITION: 0.1,
+    STORE_SLOW_SHARD: 0.25,
+}
+
+
+def shard_chaos_plan(rate: float, node_down_ms: float) -> FaultPlan:
+    """The storage fault plan armed at one sweep point."""
+    plan = FaultPlan()
+    for site, scale in SITE_RATE_SCALE.items():
+        probability = min(1.0, rate * scale)
+        if probability <= 0.0:
+            continue
+        delay = node_down_ms if site == STORE_NODE_DOWN else None
+        plan = plan.with_spec(FaultSpec(site, probability, delay_ms=delay))
+    return plan
+
+
+@dataclass
+class ShardChaosTreatment:
+    """One (replication factor, fault pressure) cell of the sweep."""
+
+    replication_factor: int
+    fault_rate: float
+    requests: int = 0
+    successes: int = 0
+    cold_waits_ms: List[float] = field(default_factory=list)
+    degraded_restores: int = 0
+    fallbacks: int = 0
+    retries: int = 0
+    retry_hops: int = 0
+    read_repairs: int = 0
+    handoffs: int = 0
+    breaker_opens: int = 0
+    faults_fired: int = 0
+    schedule_digests: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return self.requests - self.successes
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.requests if self.requests else 0.0
+
+    def cold_p50(self) -> float:
+        return quantile(self.cold_waits_ms, 0.5) if self.cold_waits_ms else 0.0
+
+    def cold_p99(self) -> float:
+        return quantile(self.cold_waits_ms, 0.99) if self.cold_waits_ms else 0.0
+
+
+@dataclass
+class ShardChaosResult:
+    """The full sweep, renderable as a stdout-diffable report."""
+
+    function: str
+    storage_nodes: int
+    repetitions: int
+    requests_per_rep: int
+    seed: int
+    treatments: List[ShardChaosTreatment] = field(default_factory=list)
+
+    def treatment(self, rf: int, rate: float) -> ShardChaosTreatment:
+        for t in self.treatments:
+            if t.replication_factor == rf and t.fault_rate == rate:
+                return t
+        raise KeyError(f"no treatment rf={rf} rate={rate}")
+
+    def sweep_digest(self) -> str:
+        hasher = hashlib.sha256()
+        for t in self.treatments:
+            for digest in t.schedule_digests:
+                hasher.update(digest.encode("ascii"))
+        return hasher.hexdigest()
+
+    def failed_at_rf2_plus(self) -> int:
+        """Failed requests across every RF>=2 cell (CI asserts 0)."""
+        return sum(t.failed for t in self.treatments
+                   if t.replication_factor >= 2)
+
+    def _clean_p99(self, rf: int) -> float:
+        """The cell's clean (lowest fault pressure) baseline p99."""
+        cells = [t for t in self.treatments if t.replication_factor == rf]
+        baseline = min(cells, key=lambda t: t.fault_rate)
+        return baseline.cold_p99()
+
+    def render(self) -> str:
+        rows = []
+        for t in self.treatments:
+            clean = self._clean_p99(t.replication_factor)
+            inflation = (t.cold_p99() / clean) if clean else 0.0
+            rows.append([
+                t.replication_factor,
+                f"{t.fault_rate:.2f}",
+                t.requests,
+                f"{100.0 * t.success_rate:.1f}%",
+                f"{t.cold_p50():.2f}",
+                f"{t.cold_p99():.2f}",
+                f"{inflation:.2f}x",
+                t.degraded_restores,
+                t.fallbacks,
+                t.retry_hops,
+                t.read_repairs,
+                t.breaker_opens,
+            ])
+        table = format_table(
+            ["rf", "rate", "req", "success", "cold p50 ms", "cold p99 ms",
+             "p99 vs clean", "degraded", "fallback", "hops", "read-repair",
+             "breaker"],
+            rows,
+        )
+        header = (
+            f"Shard chaos — {self.function}, {self.storage_nodes} storage "
+            f"nodes, {self.repetitions} reps x {self.requests_per_rep} "
+            f"requests, seed {self.seed}"
+        )
+        return (header + "\n" + table
+                + f"\nRF>=2 failed requests: {self.failed_at_rf2_plus()}"
+                + f"\nfault schedule digest: {self.sweep_digest()}")
+
+
+def _run_repetition(treatment: ShardChaosTreatment, function: str,
+                    rf: int, rate: float, rep: int, seed: int,
+                    storage_nodes: int, requests_per_rep: int,
+                    think_ms: float, node_down_ms: float) -> None:
+    world = make_world(
+        seed=_derive_seed(seed, f"shard-chaos-rf{rf}-{rate}-{rep}"),
+        observe=True,
+    )
+    kernel = world.kernel
+    platform = FaaSPlatform(kernel, PlatformConfig(
+        nodes=2,
+        storage_nodes=storage_nodes,
+        replication_factor=rf,
+    ))
+    platform.register_function(lambda: make_app(function),
+                               start_technique="prebake")
+    injector = platform.install_faults(shard_chaos_plan(rate, node_down_ms))
+    victim = f"store-{rep % storage_nodes}"
+    try:
+        for i in range(requests_per_rep):
+            if rate > 0.0 and i == requests_per_rep // 2:
+                # The acceptance treatment: kill one storage node
+                # mid-window. rep rotates the victim, so the sweep
+                # kills every node at least once.
+                platform.shard_store.fail_node(victim, node_down_ms)
+            treatment.requests += 1
+            try:
+                platform.invoke(function)
+                treatment.successes += 1
+            except PlatformError:
+                pass
+            kernel.clock.advance(think_ms)
+            # Terminate the pool so the next request pays a full cold
+            # start through the sharded store.
+            platform.deployer.terminate_all(function)
+            platform.gc_tick()
+    finally:
+        faults.uninstall(kernel)
+    metrics = kernel.obs.metrics
+    treatment.cold_waits_ms.extend(platform.cold_start_latencies(function))
+    treatment.degraded_restores += int(metrics.value("restore_degraded_total"))
+    treatment.fallbacks += int(metrics.value("prebake_fallback_total"))
+    treatment.retries += int(metrics.value("prebake_restore_retries_total"))
+    treatment.retry_hops += int(metrics.value("shard_fetch_retry_hops_total"))
+    treatment.read_repairs += int(metrics.value("shard_read_repair_total"))
+    treatment.handoffs += int(metrics.value("shard_hinted_handoff_total"))
+    treatment.breaker_opens += int(metrics.value("shard_breaker_open_total"))
+    treatment.faults_fired += injector.fired_count()
+    treatment.schedule_digests.append(injector.schedule_digest())
+
+
+def shard_chaos_experiment(
+    function: str = "markdown",
+    replication_factors: Sequence[int] = (1, 2, 3),
+    failure_rates: Sequence[float] = (0.0, 0.5),
+    storage_nodes: int = 5,
+    repetitions: int = 6,
+    requests_per_rep: int = 6,
+    seed: int = 42,
+    think_ms: float = 100.0,
+    node_down_ms: float = 1_500.0,
+) -> ShardChaosResult:
+    """Sweep replication factor x storage-fault pressure.
+
+    At pressure 0 the cell is the clean baseline (no kill, no armed
+    sites, zero extra RNG draws); at pressure > 0 the deterministic
+    mid-window node kill runs on top of seeded ``store.*`` injection.
+    ``repetitions >= storage_nodes`` makes the rotating victim cover
+    every storage node. The rendered report ends with the RF>=2
+    failed-request count and the fault-schedule digest CI asserts on.
+    """
+    result = ShardChaosResult(
+        function=function,
+        storage_nodes=storage_nodes,
+        repetitions=repetitions,
+        requests_per_rep=requests_per_rep,
+        seed=seed,
+    )
+    for rf in replication_factors:
+        if rf > storage_nodes:
+            continue  # cannot place more replicas than nodes
+        for rate in failure_rates:
+            treatment = ShardChaosTreatment(replication_factor=rf,
+                                            fault_rate=rate)
+            for rep in range(repetitions):
+                _run_repetition(treatment, function, rf, rate, rep, seed,
+                                storage_nodes, requests_per_rep, think_ms,
+                                node_down_ms)
+            result.treatments.append(treatment)
+    return result

@@ -92,6 +92,7 @@ class PrebakeManager:
         pipeline_workers: int = 1,
         chunk_cache=None,
         cache_policy: Optional[str] = None,
+        shard_store=None,
     ) -> Starter:
         """Build a starter for ``technique`` ("vanilla" | "prebake")."""
         if technique == "vanilla":
@@ -111,6 +112,7 @@ class PrebakeManager:
                 pipeline_workers=pipeline_workers,
                 chunk_cache=chunk_cache,
                 cache_policy=cache_policy,
+                shard_store=shard_store,
             )
         raise ValueError(f"unknown technique {technique!r}")
 

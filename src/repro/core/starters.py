@@ -171,6 +171,7 @@ class PrebakeStarter(Starter):
         pipeline_workers: int = 1,
         chunk_cache=None,
         cache_policy: Optional[str] = None,
+        shard_store=None,
     ) -> None:
         super().__init__(kernel)
         self.store = store
@@ -185,12 +186,14 @@ class PrebakeStarter(Starter):
         # cheaper than quarantine + rebake when the corruption sits in
         # the page data; disable to force the legacy rebake-only path.
         self.repair = repair
-        # Pipelined restore + node-local hot-chunk cache knobs travel
-        # straight into the engine; the defaults (one worker, no
-        # cache) keep the serial path bit-identical.
+        # Pipelined restore + node-local hot-chunk cache + sharded
+        # store knobs travel straight into the engine; the defaults
+        # (one worker, no cache, no shard store) keep the serial path
+        # bit-identical.
         self.restore_engine = RestoreEngine(
             kernel, pipeline_workers=pipeline_workers,
-            chunk_cache=chunk_cache, cache_policy=cache_policy)
+            chunk_cache=chunk_cache, cache_policy=cache_policy,
+            shard_store=shard_store)
 
     def snapshot_key(self, app: FunctionApp) -> SnapshotKey:
         return SnapshotKey(

@@ -23,6 +23,11 @@ from repro.criu.pagestore import (
     layer_image,
     rebuild_vma_pages,
 )
+from repro.criu.shardstore import (
+    DegradedRestoreReport,
+    HashRing,
+    ShardedSnapshotStore,
+)
 from repro.criu.workingset import WorkingSetRecord, WorkingSetTracker
 
 __all__ = [
@@ -50,4 +55,7 @@ __all__ = [
     "rebuild_vma_pages",
     "WorkingSetRecord",
     "WorkingSetTracker",
+    "ShardedSnapshotStore",
+    "DegradedRestoreReport",
+    "HashRing",
 ]

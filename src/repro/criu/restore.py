@@ -28,6 +28,7 @@ from repro.obs.profile import (
     RESTORE_CHUNK_FETCH,
     RESTORE_DIGEST_VERIFY,
     RESTORE_PIPELINE_RAMP,
+    RESTORE_SHARD_FETCH,
     RESTORE_WS_PREFETCH,
 )
 from repro.osproc.kernel import Kernel
@@ -74,13 +75,25 @@ class RestoreEngine:
     ``chunk_cache`` (or ``cache_policy``, which builds one) is a
     node-local :class:`HotChunkCache` consulted per chunk window —
     hits fetch at local-read speed instead of a registry round-trip.
+
+    ``shard_store`` (a
+    :class:`~repro.criu.shardstore.ShardedSnapshotStore`) replaces the
+    flat registry with N replicated storage nodes: each restore issues
+    quorum window fetches through it, prices retry hops and stragglers
+    via :meth:`CostModel.shard_fetch_overhead_ms`, and records a
+    :class:`~repro.criu.shardstore.DegradedRestoreReport` on
+    ``last_shard_report``. A window no surviving replica nor the cache
+    can serve raises :class:`RestoreFailed` (kind ``shard``) so the
+    starter's retry/fallback ladder takes over. ``None`` (the default)
+    keeps the unsharded path bit-identical.
     """
 
     def __init__(self, kernel: Kernel,
                  lazy_eager_fraction: float = DEFAULT_LAZY_EAGER_FRACTION,
                  pipeline_workers: int = 1,
                  chunk_cache: Optional[HotChunkCache] = None,
-                 cache_policy: Optional[str] = None) -> None:
+                 cache_policy: Optional[str] = None,
+                 shard_store=None) -> None:
         if not 0.0 <= lazy_eager_fraction <= 1.0:
             raise ValueError(
                 f"lazy_eager_fraction must be in [0, 1], got {lazy_eager_fraction}"
@@ -93,6 +106,8 @@ class RestoreEngine:
         self.pipeline_workers = pipeline_workers
         self.chunk_cache = (chunk_cache if chunk_cache is not None
                             else make_cache(cache_policy))
+        self.shard_store = shard_store
+        self.last_shard_report = None
         kernel.fs.ensure(CRIU_BINARY, size=5 * 1024 * 1024)
 
     def restore(
@@ -175,12 +190,29 @@ class RestoreEngine:
 
                     # Node-local hot-chunk cache: a hit turns a registry
                     # fetch into a local read (no RNG, pure bookkeeping).
-                    cached_fraction = self._chunk_cache_pass(image)
+                    # With a sharded store the windows the cache misses
+                    # come through quorum fetches over the replica set.
+                    shard_report = None
+                    if self.shard_store is not None:
+                        cached_fraction, shard_report = \
+                            self._shard_fetch_pass(image)
+                    else:
+                        cached_fraction = self._chunk_cache_pass(image)
 
                     # Charge the restore work (page reads + remapping).
                     duration, plan, serial_duration = self._restore_duration(
                         image, mode, in_memory, duration_override_ms,
                         ws_record=ws_record, cached_fraction=cached_fraction)
+                    shard_ms = 0.0
+                    if shard_report is not None and (shard_report.retry_hops
+                                                     or shard_report.slow_ms):
+                        # Degraded fetches pay for their retry hops and
+                        # stragglers; a clean quorum pass costs exactly 0.
+                        shard_ms = kernel.costs.shard_fetch_overhead_ms(
+                            shard_report.retry_hops, shard_report.slow_ms,
+                            workers=self.pipeline_workers)
+                        shard_report.extra_ms = shard_ms
+                        duration += shard_ms
                     extra_ms = 0.0
                     if faults.should_fire(kernel, faults.IO_SLOW,
                                           detail=image.image_id):
@@ -198,7 +230,8 @@ class RestoreEngine:
             if kernel.profile is not None:
                 self._record_restore_phases(
                     proc, image, mode, ws_record, plan, extra_ms,
-                    duration, charged, serial_duration, in_memory)
+                    duration, charged, serial_duration, in_memory,
+                    shard_ms=shard_ms)
             if mode is RestoreMode.LAZY:
                 # The deferred paging debt is real page work, so it is
                 # sized off the *serial* eager charge: pipelining the
@@ -309,6 +342,56 @@ class RestoreEngine:
         obs.gauge(kernel, "chunk_cache_used_bytes", float(cache.used_bytes))
         return hit_bytes / total_bytes if total_bytes else 0.0
 
+    def _shard_fetch_pass(self, image: CheckpointImage):
+        """Fetch every window through the sharded store, cache-first.
+
+        The degraded-mode ladder: node cache hit → first-success
+        quorum fetch over surviving replicas → :class:`RestoreFailed`
+        (kind ``shard``) when a window is unobtainable, which hands
+        recovery to the starter's retry → vanilla ladder. Returns
+        ``(cached byte fraction, DegradedRestoreReport)``; emits the
+        same cache-effectiveness counters as the unsharded pass so
+        SLOs and anomaly watches read identically either way.
+        """
+        kernel = self.kernel
+        cache = self.chunk_cache
+        report = self.shard_store.restore_pass(image, cache=cache)
+        self.last_shard_report = report
+        cached_fraction = (report.cached_bytes / report.total_bytes
+                           if report.total_bytes else 0.0)
+        if cache is not None:
+            obs.record(kernel, obs.flight.CACHE_LOOKUP, image=image.image_id,
+                       lookups=report.chunks, hits=report.cached_chunks,
+                       hit_fraction=round(cached_fraction, 4))
+            obs.count(kernel, "chunk_cache_lookups_total",
+                      value=float(report.chunks))
+            obs.count(kernel, "chunk_cache_hits_total",
+                      value=float(report.cached_chunks))
+            obs.count(kernel, "chunk_cache_misses_total",
+                      value=float(report.chunks - report.cached_chunks))
+            obs.gauge(kernel, "chunk_cache_hit_ratio", cache.stats.hit_ratio)
+            obs.gauge(kernel, "chunk_cache_used_bytes",
+                      float(cache.used_bytes))
+        if report.failed_chunks:
+            obs.record(kernel, obs.flight.RESTORE_FAILED,
+                       image=image.image_id, reason="shard",
+                       failed_chunks=len(report.failed_chunks),
+                       nodes_down=",".join(report.nodes_down) or None)
+            obs.count(kernel, "criu_restore_failures_total",
+                      labels={"reason": "shard"})
+            missing = report.failed_chunks[0][:12]
+            raise RestoreFailed(
+                f"restore of image {image.image_id!r}: "
+                f"{len(report.failed_chunks)} chunk window(s) unobtainable "
+                f"from any replica or cache (first: {missing}...)",
+                image_id=image.image_id, kind="shard",
+            )
+        if report.degraded:
+            obs.count(kernel, "restore_degraded_total")
+            obs.record(kernel, obs.flight.RESTORE_DEGRADED,
+                       image=image.image_id, **report.as_attrs())
+        return cached_fraction, report
+
     def _restore_duration(
         self,
         image: CheckpointImage,
@@ -363,22 +446,24 @@ class RestoreEngine:
         charged: float,
         serial_duration: float,
         in_memory: bool,
+        shard_ms: float = 0.0,
     ) -> None:
         """Attribute the jittered restore charge to restore sub-phases.
 
         Mirrors the :meth:`_restore_duration` cost split (base →
         digest-verify, page population → chunk-fetch or working-set
         prefetch — preceded by a pipeline-ramp slice when overlapped —
-        injected io.slow penalty → chunk-fetch), then scales every
-        part by ``charged / duration`` — with the last part as the
-        remainder — so the recorded sub-phases sum to the jittered
-        charge *exactly*, never to the pre-jitter model cost.
+        degraded shard-fetch hops → shard-fetch, injected io.slow
+        penalty → chunk-fetch), then scales every part by
+        ``charged / duration`` — with the last part as the remainder —
+        so the recorded sub-phases sum to the jittered charge
+        *exactly*, never to the pre-jitter model cost.
         """
         if plan is None:
             base = min(self.kernel.costs.restore_base_ms, serial_duration)
             pages_part = serial_duration - base
         else:
-            base = duration - extra_ms - plan.total_ms
+            base = duration - extra_ms - shard_ms - plan.total_ms
             pages_part = plan.total_ms
         parts = [(RESTORE_DIGEST_VERIFY, base, {"image": image.image_id})]
         if plan is not None and plan.pipelined and plan.ramp_ms:
@@ -397,6 +482,12 @@ class RestoreEngine:
                 attrs["workers"] = plan.workers
                 attrs["cached_fraction"] = round(plan.cached_fraction, 4)
             parts.append((RESTORE_CHUNK_FETCH, pages_part, attrs))
+        if shard_ms:
+            report = self.last_shard_report
+            parts.append((RESTORE_SHARD_FETCH, shard_ms,
+                          {"retry_hops": report.retry_hops if report else 0,
+                           "slow_ms": round(report.slow_ms, 3)
+                           if report else 0.0}))
         if extra_ms:
             parts.append((RESTORE_CHUNK_FETCH, extra_ms,
                           {"reason": "io-slow"}))

@@ -30,11 +30,16 @@ class FunctionDeployer:
         registry: FunctionRegistry,
         resources: ResourceManager,
         prebake_manager: PrebakeManager,
+        shard_store=None,
     ) -> None:
         self.kernel = kernel
         self.registry = registry
         self.resources = resources
         self.prebake_manager = prebake_manager
+        # Optional sharded snapshot store: restores fetch chunk
+        # windows through quorum reads over its storage nodes, and
+        # placement gains a chunk-locality hint (None = flat registry).
+        self.shard_store = shard_store
         self.cgroups = CgroupManager(kernel)
         self._replicas: Dict[str, List[FunctionReplica]] = {}
         # Per-node hot-chunk cache: a replica landing on a node that
@@ -42,6 +47,9 @@ class FunctionDeployer:
         # missing chunks, like any OCI runtime — but bounded, with a
         # real admission/eviction policy instead of an unbounded set.
         self._node_chunk_cache: Dict[str, HotChunkCache] = {}
+        # Eviction count already exported per node, so the counter
+        # below emits deltas rather than re-counting the total.
+        self._evictions_exported: Dict[str, int] = {}
 
     # -- provisioning --------------------------------------------------------------
 
@@ -61,8 +69,9 @@ class FunctionDeployer:
         with obs.span(self.kernel, "deployer.provision", function=function,
                       technique=metadata.start_technique,
                       memory_mib=memory_mib) as provision_span:
-            allocation = self.resources.place(function, memory_mib,
-                                              privileged=privileged)
+            allocation = self.resources.place(
+                function, memory_mib, privileged=privileged,
+                prefer=self._locality_hint(metadata))
 
             # Container/VM provisioning cost — zero in the paper's §4
             # experiments, configurable for the §5 integration demos.
@@ -72,6 +81,9 @@ class FunctionDeployer:
                     self.kernel.costs.jitter(provision_ms, self.kernel.streams,
                                              "deployer.provision")
                 )
+            if metadata.start_technique == "prebake" \
+                    and self.shard_store is not None:
+                self._ensure_sharded(metadata)
             try:
                 starter = self.prebake_manager.starter(
                     metadata.start_technique,
@@ -81,6 +93,7 @@ class FunctionDeployer:
                     pipeline_workers=metadata.pipeline_workers,
                     chunk_cache=self._restore_cache(allocation.node.name,
                                                     metadata),
+                    shard_store=self.shard_store,
                 )
                 handle = starter.start(app)
             except Exception:
@@ -138,6 +151,58 @@ class FunctionDeployer:
             self._node_chunk_cache[node_name] = cache
         return cache
 
+    def _snapshot_key(self, metadata: FunctionMetadata) -> SnapshotKey:
+        return SnapshotKey(
+            function=metadata.name,
+            runtime_kind=metadata.runtime_kind,
+            policy=metadata.snapshot_policy.key,
+            version=metadata.version,
+        )
+
+    def _ensure_sharded(self, metadata: FunctionMetadata) -> None:
+        """Place the function's snapshot on the sharded store's nodes.
+
+        Normally done at build time by the platform; this lazy check
+        covers rebakes and externally baked versions, and is a cheap
+        no-op once the image is registered.
+        """
+        layered = self.prebake_manager.store.layered(
+            self._snapshot_key(metadata))
+        if layered is None or self.shard_store.has_image(layered.image_id):
+            return
+        merkle = self.prebake_manager.store.merkle(
+            self._snapshot_key(metadata))
+        self.shard_store.register_image(layered, merkle=merkle)
+
+    def _locality_hint(self, metadata: FunctionMetadata) -> Optional[str]:
+        """Preferred node for chunk locality (sharded clusters only).
+
+        The node whose hot-chunk cache holds the most bytes of the
+        function's layer manifest — a restore landing there pulls the
+        fewest cold windows. None (worst-fit unchanged) outside
+        shard-store clusters, so legacy placement stays byte-identical.
+        """
+        if self.shard_store is None \
+                or metadata.start_technique != "prebake" \
+                or not self._node_chunk_cache:
+            return None
+        layered = self.prebake_manager.store.layered(
+            self._snapshot_key(metadata))
+        if layered is None:
+            return None
+        best_name: Optional[str] = None
+        best_bytes = 0
+        for node_name in sorted(self._node_chunk_cache):
+            cache = self._node_chunk_cache[node_name]
+            cached = sum(ref.size_bytes for ref in layered.chunk_refs
+                         if cache.contains(ref.chunk_id))
+            if cached > best_bytes:
+                best_name, best_bytes = node_name, cached
+        if best_name is not None:
+            obs.count(self.kernel, "deployer_locality_hint_total",
+                      labels={"function": metadata.name, "node": best_name})
+        return best_name
+
     def _account_layer_pull(self, metadata: FunctionMetadata,
                             node_name: str) -> None:
         """Account the snapshot layer bytes this provision moved.
@@ -147,13 +212,8 @@ class FunctionDeployer:
         holds — from a previous replica of this function or any
         function sharing its runtime base — are not re-pulled.
         """
-        key = SnapshotKey(
-            function=metadata.name,
-            runtime_kind=metadata.runtime_kind,
-            policy=metadata.snapshot_policy.key,
-            version=metadata.version,
-        )
-        layered = self.prebake_manager.store.layered(key)
+        layered = self.prebake_manager.store.layered(
+            self._snapshot_key(metadata))
         if layered is None:
             return
         cache = self.node_cache(node_name)
@@ -172,6 +232,14 @@ class FunctionDeployer:
                   float(cache.used_bytes), labels={"node": node_name})
         obs.gauge(self.kernel, "deployer_node_cache_hit_ratio",
                   cache.stats.hit_ratio, labels={"node": node_name})
+        # Counters are cumulative, the cache's eviction stat is too —
+        # export only the evictions since the last pull on this node.
+        evictions = cache.stats.evictions
+        delta = evictions - self._evictions_exported.get(node_name, 0)
+        if delta > 0:
+            obs.count(self.kernel, "deployer_node_cache_eviction_total",
+                      value=float(delta), labels={"node": node_name})
+        self._evictions_exported[node_name] = evictions
 
     # -- bookkeeping -----------------------------------------------------------------
 

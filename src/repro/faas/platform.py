@@ -37,6 +37,15 @@ class PlatformConfig:
     requeue_backoff_ms: float = 5.0
     request_timeout_ms: float = 30_000.0
     max_crash_retries: int = 3
+    # Sharded snapshot store: 0 keeps the legacy flat registry
+    # (byte-identical to the committed baselines); N >= 1 spreads
+    # chunk windows over N storage nodes with ``replication_factor``
+    # copies each, quorum restores, and per-node circuit breakers.
+    storage_nodes: int = 0
+    replication_factor: int = 1
+    storage_virtual_nodes: int = 64
+    storage_breaker_threshold: int = 3
+    storage_breaker_reset_ms: float = 2_000.0
 
 
 class FaaSPlatform:
@@ -54,8 +63,20 @@ class FaaSPlatform:
         )
         self.prebake_manager = PrebakeManager(kernel)
         self.builder = FunctionBuilder(kernel, self.prebake_manager.prebaker)
+        self.shard_store = None
+        if config.storage_nodes > 0:
+            from repro.criu.shardstore import ShardedSnapshotStore
+            self.shard_store = ShardedSnapshotStore(
+                kernel,
+                node_count=config.storage_nodes,
+                replication_factor=config.replication_factor,
+                virtual_nodes=config.storage_virtual_nodes,
+                breaker_threshold=config.storage_breaker_threshold,
+                breaker_reset_ms=config.storage_breaker_reset_ms,
+            )
         self.deployer = FunctionDeployer(
-            kernel, self.registry, self.resources, self.prebake_manager
+            kernel, self.registry, self.resources, self.prebake_manager,
+            shard_store=self.shard_store,
         )
         self.router = FunctionRouter(
             kernel,
@@ -105,8 +126,26 @@ class FaaSPlatform:
         return metadata
 
     def build(self, metadata: FunctionMetadata) -> BuildResult:
-        """Run the Function Builder for ``metadata``."""
+        """Run the Function Builder for ``metadata``.
+
+        On sharded clusters a freshly baked snapshot is placed onto
+        the storage nodes right away (the write side of the protocol:
+        a down home shard gets a hinted handoff).
+        """
         result = self.builder.build(metadata)
+        if self.shard_store is not None \
+                and metadata.start_technique == "prebake":
+            from repro.core.store import SnapshotKey
+            key = SnapshotKey(
+                function=metadata.name,
+                runtime_kind=metadata.runtime_kind,
+                policy=metadata.snapshot_policy.key,
+                version=metadata.version,
+            )
+            layered = self.prebake_manager.store.layered(key)
+            if layered is not None:
+                self.shard_store.register_image(
+                    layered, merkle=self.prebake_manager.store.merkle(key))
         return result
 
     # -- data path ----------------------------------------------------------------------

@@ -99,7 +99,15 @@ class ResourceManager:
         self.nodes.append(node)
 
     def place(self, function: str, memory_mib: float,
-              privileged: bool = False) -> Allocation:
+              privileged: bool = False,
+              prefer: Optional[str] = None) -> Allocation:
+        """Worst-fit placement, with an optional locality hint.
+
+        ``prefer`` names a node to favor when it can host the replica
+        (the router/deployer's chunk-locality hint: land where the
+        snapshot's layers are already cached); when the preferred node
+        is full or absent, placement falls back to worst-fit unchanged.
+        """
         candidates = [
             n for n in self.nodes
             if n.free_mib >= memory_mib and (n.allow_privileged or not privileged)
@@ -109,6 +117,11 @@ class ResourceManager:
                 f"no node can host {function!r} ({memory_mib:.0f} MiB, "
                 f"privileged={privileged})"
             )
+        if prefer is not None:
+            for node in candidates:
+                if node.name == prefer:
+                    return node.allocate(function, memory_mib,
+                                         privileged=privileged)
         best = max(candidates, key=lambda n: n.free_mib)
         return best.allocate(function, memory_mib, privileged=privileged)
 

@@ -56,6 +56,9 @@ from repro.faults.model import (
     RESTORE_FAIL,
     RESTORE_HANG,
     SITES,
+    STORE_NODE_DOWN,
+    STORE_PARTITION,
+    STORE_SLOW_SHARD,
     FaultPlan,
     FaultSpec,
 )
@@ -135,6 +138,9 @@ __all__ = [
     "IO_SLOW",
     "REPLICA_CRASH",
     "OOM_KILL",
+    "STORE_NODE_DOWN",
+    "STORE_PARTITION",
+    "STORE_SLOW_SHARD",
     "install",
     "uninstall",
     "active",

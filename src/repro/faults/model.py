@@ -20,6 +20,9 @@ IMAGE_CORRUPT = "image.corrupt"    # stored checkpoint image bit-rots
 IO_SLOW = "io.slow"                # image page reads hit slow storage
 REPLICA_CRASH = "replica.crash"    # replica dies while serving
 OOM_KILL = "oom.kill"              # cgroup OOM killer fires post-request
+STORE_NODE_DOWN = "store.node_down"    # a snapshot storage node crashes
+STORE_PARTITION = "store.partition"    # one replica fetch hop unreachable
+STORE_SLOW_SHARD = "store.slow_shard"  # a shard answers, but slowly
 
 SITES: Tuple[str, ...] = (
     RESTORE_FAIL,
@@ -28,12 +31,24 @@ SITES: Tuple[str, ...] = (
     IO_SLOW,
     REPLICA_CRASH,
     OOM_KILL,
+    STORE_NODE_DOWN,
+    STORE_PARTITION,
+    STORE_SLOW_SHARD,
 )
 
 # Default extra latency per site when the spec does not override it.
 DEFAULT_DELAY_MS: Dict[str, float] = {
-    RESTORE_HANG: 1_000.0,   # watchdog timeout for a hung restore
-    IO_SLOW: 50.0,           # slow-disk penalty on image reads
+    RESTORE_HANG: 1_000.0,        # watchdog timeout for a hung restore
+    IO_SLOW: 50.0,                # slow-disk penalty on image reads
+    STORE_NODE_DOWN: 5_000.0,     # how long a crashed storage node stays down
+    STORE_SLOW_SHARD: 25.0,       # straggler penalty on one shard fetch
+}
+
+# keyword spelling (underscored) -> canonical site name. Site names may
+# themselves contain underscores ("store.node_down"), so the keyword
+# form is derived from the site, never the other way around.
+_SITE_BY_KEYWORD: Dict[str, str] = {
+    site.replace(".", "_"): site for site in SITES
 }
 
 
@@ -90,10 +105,19 @@ class FaultPlan:
         underscores standing in for the dots in site names::
 
             FaultPlan.of(restore_fail=0.5, replica_crash=0.1)
+
+        Only the canonical :data:`SITES` are accepted — a typo'd
+        keyword raises instead of silently arming a site nothing
+        instruments (custom sites go through :meth:`with_spec`).
         """
         specs = {}
         for key, probability in rates_by_underscored_site.items():
-            site = key.replace("_", ".")
+            site = _SITE_BY_KEYWORD.get(key)
+            if site is None:
+                raise ValueError(
+                    f"unknown fault site keyword {key!r}; known: "
+                    f"{sorted(_SITE_BY_KEYWORD)}"
+                )
             specs[site] = FaultSpec(site=site, probability=probability)
         return cls(specs=specs)
 

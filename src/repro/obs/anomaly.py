@@ -54,6 +54,7 @@ BOTH = "both"
 COLD_START_LATENCY = "cold-start-latency"
 RESTORE_FAILURE_RATE = "restore-failure-rate"
 CHUNK_CACHE_MISS_RATE = "chunk-cache-miss-rate"
+DEGRADED_RESTORE_RATE = "degraded-restore-rate"
 
 
 class AnomalyEvent:
@@ -380,5 +381,14 @@ def default_monitor(kernel=None, window_ms: float = 500.0,
                                  z_threshold=z_threshold,
                                  warmup=rate_warmup, direction=ABOVE,
                                  min_delta=0.10),
+    )
+    monitor.watch_rate(
+        DEGRADED_RESTORE_RATE,
+        bad_metric="restore_degraded_total",
+        total_metric="criu_restore_total",
+        detector=EwmaMadDetector(DEGRADED_RESTORE_RATE,
+                                 z_threshold=z_threshold,
+                                 warmup=rate_warmup, direction=ABOVE,
+                                 min_delta=0.05),
     )
     return monitor

@@ -63,6 +63,13 @@ AUTOSCALER_ACTION = "autoscaler.action"      # scale-up / gc / reap / heal
 DEPLOY = "deploy"                            # function (re)deployed/baked
 ANOMALY = "anomaly.detected"                 # online detector flagged
 METRIC_SAMPLE = "metric.sample"              # optional raw metric sample
+RESTORE_DEGRADED = "restore.degraded"        # quorum lost; survivors served
+SHARD_NODE_DOWN = "shard.node-down"          # a storage node crashed
+SHARD_NODE_UP = "shard.node-up"              # a storage node recovered
+SHARD_HANDOFF = "shard.handoff"              # hinted handoff (write or delivery)
+SHARD_READ_REPAIR = "shard.read-repair"      # under-replicated window re-replicated
+SHARD_BREAKER = "shard.breaker"              # circuit breaker state change
+SHARD_ANTI_ENTROPY = "shard.anti-entropy"    # Merkle-driven repair pass summary
 
 EVENT_KINDS = (
     REQUEST_ADMITTED, REQUEST_ROUTED, REQUEST_REQUEUED, REQUEST_TIMEOUT,
@@ -70,7 +77,8 @@ EVENT_KINDS = (
     RESTORE_STARTED, RESTORE_FINISHED, RESTORE_FAILED, RESTORE_RETRY,
     RESTORE_FALLBACK, SNAPSHOT_QUARANTINED, SNAPSHOT_REPAIRED,
     CACHE_LOOKUP, FAULT_INJECTED, AUTOSCALER_ACTION, DEPLOY, ANOMALY,
-    METRIC_SAMPLE,
+    METRIC_SAMPLE, RESTORE_DEGRADED, SHARD_NODE_DOWN, SHARD_NODE_UP,
+    SHARD_HANDOFF, SHARD_READ_REPAIR, SHARD_BREAKER, SHARD_ANTI_ENTROPY,
 )
 
 

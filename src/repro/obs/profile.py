@@ -47,12 +47,13 @@ RESTORE_LAZY_FAULT = "restore.lazy-page-fault"       # post-resume demand faults
 RESTORE_SUBTREE_VERIFY = "restore.subtree-verify"    # Merkle re-verify of repairs
 RESTORE_REPAIR = "restore.repair"                    # chunk-level image repair
 RESTORE_BACKOFF = "restore.retry-backoff"            # wait between attempts
+RESTORE_SHARD_FETCH = "restore.shard-fetch"          # quorum hops to storage nodes
 
 STARTUP_PHASES = (PHASE_CLONE, PHASE_EXEC, PHASE_RTS, PHASE_APPINIT)
 RESTORE_PHASES = (RESTORE_DIGEST_VERIFY, RESTORE_PIPELINE_RAMP,
                   RESTORE_CHUNK_FETCH, RESTORE_WS_PREFETCH,
                   RESTORE_LAZY_FAULT, RESTORE_SUBTREE_VERIFY,
-                  RESTORE_REPAIR, RESTORE_BACKOFF)
+                  RESTORE_REPAIR, RESTORE_BACKOFF, RESTORE_SHARD_FETCH)
 ALL_PHASES = STARTUP_PHASES + RESTORE_PHASES
 
 

@@ -118,6 +118,16 @@ class CostModel:
     # vs a registry round-trip).
     restore_cache_hit_factor: float = 0.2
 
+    # -- sharded snapshot store (quorum fetch over replicas) -----------------
+    #
+    # The per-chunk fetch cost itself is already part of the restore
+    # charge above; sharding only adds latency when a fetch has to hop
+    # to another replica (home shard down/partitioned/breaker-open) —
+    # one extra registry RTT per failed hop.
+    shard_retry_hop_ms: float = 0.35
+    # Half-open circuit-breaker probes against a recovering node ride
+    # on a real fetch, so they cost one hop too (no separate rate).
+
     # Checkpoint (dump) side — exercised by the build pipeline only;
     # the paper does not evaluate dump latency (it happens at build
     # time), so these are plausible engineering numbers.
@@ -207,6 +217,27 @@ class CostModel:
                             fetch_ms=fetch_ms, map_ms=map_ms,
                             ramp_ms=max(0.0, total_ms - steady_ms),
                             serial_ms=serial_ms, total_ms=total_ms)
+
+    def shard_fetch_overhead_ms(self, retry_hops: int, slow_ms: float = 0.0,
+                                workers: int = 1) -> float:
+        """Extra restore latency one sharded fetch pass imposed.
+
+        ``retry_hops`` failed replica attempts each cost one registry
+        RTT; ``slow_ms`` is the accumulated straggler penalty from
+        ``store.slow_shard``. With a pipelined restore the retries
+        overlap across the fetch workers, so the wall charge divides
+        by the same effective-worker factor the pipeline plan uses.
+        A clean pass (no hops, no stragglers) costs exactly 0.0.
+        """
+        if retry_hops < 0:
+            raise ValueError(f"retry_hops must be >= 0, got {retry_hops}")
+        extra = retry_hops * self.shard_retry_hop_ms + max(0.0, slow_ms)
+        if extra == 0.0:
+            return 0.0
+        if workers > 1:
+            effective = 1.0 + (workers - 1) * self.restore_pipeline_efficiency
+            extra /= effective
+        return extra
 
     def jitter(self, median: float, streams: RandomStreams, stream_name: str) -> float:
         """Apply seeded log-normal jitter to a median duration."""

@@ -137,6 +137,18 @@ class TestRecordAndCompareCli:
         assert baseline.main(["compare", fake_bench,
                               "--dir", str(tmp_path)]) == 3
 
+    @pytest.mark.parametrize("argv,flag", [
+        (["record", "--repetitions", "0"], "--repetitions"),
+        (["record", "-r", "-3"], "--repetitions"),
+        (["record", "--seed", "0"], "--seed"),
+        (["record", "-s", "-1"], "--seed"),
+    ])
+    def test_non_positive_overrides_exit_two(self, capsys, argv, flag,
+                                             tmp_path):
+        assert baseline.main(argv + ["--dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "positive" in err
+
     def test_unknown_bench_exits_three(self, tmp_path):
         assert baseline.main(["record", "no-such-bench",
                               "--dir", str(tmp_path)]) == 3

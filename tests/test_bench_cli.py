@@ -51,3 +51,26 @@ class TestMain:
     def test_all_known_experiments_have_runners(self):
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize("argv,flag", [
+        (["fig3", "-r", "0"], "--repetitions"),
+        (["fig3", "-r", "-5"], "--repetitions"),
+        (["fig3", "-s", "0"], "--seed"),
+        (["fig3", "-s", "-1"], "--seed"),
+        (["fig3", "-w", "0"], "--workers"),
+        (["fig3", "-w", "-2"], "--workers"),
+    ])
+    def test_non_positive_knobs_exit_2_with_a_clear_message(
+            self, capsys, argv, flag):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert "positive" in err
+
+    def test_validation_runs_before_the_experiment(self, capsys):
+        # Even a bogus experiment name with a bad knob reports the
+        # knob (exit 2 either way, but the message must be the knob's).
+        assert main(["bogus", "-r", "0"]) == 2
+        assert "--repetitions" in capsys.readouterr().err
