@@ -205,6 +205,22 @@ def _run_profile(args) -> str:
     return result.render()
 
 
+def _run_kernel_bench(args) -> str:
+    """X11: wall-clock events/sec, vectorized vs per-page reference."""
+    from repro.bench.kernelbench import (
+        DEFAULT_TARGET_EVENTS,
+        kernel_bench,
+        write_kernel_bench_json,
+    )
+    target = args.events or DEFAULT_TARGET_EVENTS
+    result = kernel_bench(target_events=target, seed=args.seed)
+    if args.profile_out:
+        write_kernel_bench_json(args.profile_out, result)
+        log.info("kernel_bench.profile_written", file=args.profile_out,
+                 speedup=round(result.speedup_vs_reference, 2))
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -225,6 +241,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "shard-chaos": _run_shard_chaos,
     "trace": _run_trace,
     "profile": _run_profile,
+    "kernel-bench": _run_kernel_bench,
 }
 
 
@@ -260,7 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(profile experiment)")
     parser.add_argument("--profile-out", default=None, metavar="PATH",
                         help="write the raw phase-profile JSON dump "
-                             "(profile experiment)")
+                             "(profile and kernel-bench experiments)")
+    parser.add_argument("--events", type=int, default=None, metavar="N",
+                        help="wall-clock event budget per backend pass "
+                             "(kernel-bench experiment)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write merged metrics JSONL "
                              "(profile experiment)")
@@ -283,6 +303,8 @@ def validate_args(args) -> str | None:
         return f"--seed must be a positive integer, got {args.seed}"
     if args.workers < 1:
         return f"--workers must be a positive integer, got {args.workers}"
+    if args.events is not None and args.events < 1:
+        return f"--events must be a positive integer, got {args.events}"
     return None
 
 

@@ -118,14 +118,7 @@ class CheckpointEngine:
         for vma in target.address_space.vmas:
             if vma.kind is VMAKind.PARASITE:
                 continue  # the parasite never lands in the image
-            indices = []
-            tags = []
-            for index in sorted(vma.pages):
-                page = vma.pages[index]
-                if incremental and not page.soft_dirty:
-                    continue
-                indices.append(index)
-                tags.append(page.content_tag)
+            indices, tags = vma.dump_pages(incremental=incremental)
             vma_descriptors.append(
                 VMADescriptor(
                     start=vma.start,

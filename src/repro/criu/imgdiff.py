@@ -10,10 +10,12 @@ residency and content-tag changes between two images.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List
+
+import numpy as np
 
 from repro.criu.images import CheckpointImage, VMADescriptor
-from repro.osproc.memory import PAGE_SIZE
+from repro.osproc.memory import PAGE_SIZE, TAGS
 
 
 @dataclass
@@ -89,8 +91,20 @@ def _page_map(vma: VMADescriptor) -> Dict[int, str]:
     return dict(zip(vma.resident_indices, vma.content_tags))
 
 
+def _descriptor_arrays(vma: VMADescriptor):
+    """(resident indices, interned tag ids) as numpy arrays."""
+    count = len(vma.resident_indices)
+    indices = np.fromiter(vma.resident_indices, dtype=np.int64, count=count)
+    return indices, TAGS.intern_many(vma.content_tags)
+
+
 def diff_images(old: CheckpointImage, new: CheckpointImage) -> ImageDiff:
-    """Compute the structural diff from ``old`` to ``new``."""
+    """Compute the structural diff from ``old`` to ``new``.
+
+    Per-VMA page sets intersect as sorted index arrays (descriptor
+    indices are ascending and unique) and retag detection compares
+    interned tag ids — no per-page dict or set construction.
+    """
     old_by_label = {v.label: v for v in old.vmas}
     new_by_label = {v.label: v for v in new.vmas}
     diff = ImageDiff(old_id=old.image_id, new_id=new.image_id)
@@ -110,16 +124,15 @@ def diff_images(old: CheckpointImage, new: CheckpointImage) -> ImageDiff:
                 pages_removed=old_vma.resident_pages,
             ))
             continue
-        old_pages = _page_map(old_vma)
-        new_pages = _page_map(new_vma)
-        added = len(set(new_pages) - set(old_pages))
-        removed = len(set(old_pages) - set(new_pages))
-        common = set(old_pages) & set(new_pages)
-        retagged = sum(1 for i in common if old_pages[i] != new_pages[i])
+        old_idx, old_ids = _descriptor_arrays(old_vma)
+        new_idx, new_ids = _descriptor_arrays(new_vma)
+        common, old_pos, new_pos = np.intersect1d(
+            old_idx, new_idx, assume_unique=True, return_indices=True)
+        retagged = int((old_ids[old_pos] != new_ids[new_pos]).sum())
         diff.vmas.append(VmaDiff(
             label=label, status="common",
-            pages_added=added,
-            pages_removed=removed,
+            pages_added=len(new_idx) - len(common),
+            pages_removed=len(old_idx) - len(common),
             pages_retagged=retagged,
             pages_unchanged=len(common) - retagged,
         ))

@@ -26,9 +26,11 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.criu.images import CheckpointImage, VMADescriptor
 from repro.criu.imgdiff import diff_images
-from repro.osproc.memory import PAGE_SIZE, VMAKind, page_content_key
+from repro.osproc.memory import PAGE_SIZE, TAGS, VMAKind
 
 # Pages per content-addressed chunk (64 pages = 256 KiB), the dedup
 # granularity. Coarser chunks mean fewer hashes but less sharing.
@@ -58,12 +60,26 @@ def chunk_id(kind: str, prot: str,
     plus the mapping's kind/protection — deliberately excluding the
     VMA's address and label so identical content dedups across
     functions whose mappings land at different addresses.
+
+    The digest is computed over one joined byte string (identical bytes
+    to the original per-page ``update`` sequence, so ids are stable
+    across the vectorization) with content keys resolved through the
+    interning table's key cache.
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"{kind}|{prot}".encode("utf-8"))
-    for rel_index, tag in pairs:
-        hasher.update(f"|{rel_index}:{page_content_key(tag)}".encode("utf-8"))
-    return hasher.hexdigest()
+    tags = TAGS
+    keys = tags.keys_of(tags.intern_many([tag for _, tag in pairs]))
+    body = "".join(
+        f"|{rel_index}:{key}"
+        for (rel_index, _), key in zip(pairs, keys)
+    )
+    return hashlib.sha256(f"{kind}|{prot}{body}".encode("utf-8")).hexdigest()
+
+
+def _chunk_id_from_keys(prefix: str, rel_indices: Sequence[int],
+                        keys: Sequence[str]) -> str:
+    """``chunk_id`` fast path over pre-resolved content keys."""
+    body = "".join(f"|{r}:{k}" for r, k in zip(rel_indices, keys))
+    return hashlib.sha256((prefix + body).encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -190,10 +206,16 @@ class PageStore:
     # -- chunk lifecycle ---------------------------------------------------------
 
     def add(self, kind: str, prot: str,
-            pairs: Sequence[Tuple[int, str]]) -> str:
-        """Store (or reference) one chunk window; returns its id."""
+            pairs: Sequence[Tuple[int, str]],
+            cid: Optional[str] = None) -> str:
+        """Store (or reference) one chunk window; returns its id.
+
+        ``cid`` lets callers that already hold the window's identity
+        (the memoized :func:`image_windows` walk) skip re-hashing it.
+        """
         pairs = tuple(pairs)
-        cid = chunk_id(kind, prot, pairs)
+        if cid is None:
+            cid = chunk_id(kind, prot, pairs)
         if cid in self._chunks:
             self.dedup_hits += 1
         else:
@@ -250,6 +272,52 @@ class PageStore:
 # Layering
 # ---------------------------------------------------------------------------
 
+def image_windows(
+    image: CheckpointImage,
+    chunk_pages: int = CHUNK_PAGES,
+) -> Tuple[Tuple[int, int, Tuple[Tuple[int, str], ...], str], ...]:
+    """Chunk windows of ``image`` with their identities, memoized.
+
+    Returns ``(vma_index, window_start, pairs, chunk_id)`` per window.
+    The window split is one vectorized pass over each descriptor's
+    resident indices (no per-page Python walk), content keys resolve
+    through the interning table once per VMA, and the result is cached
+    on the image instance keyed by its mutation ``generation`` (bumped
+    by :meth:`CheckpointImage.tamper` and repairs) — so layering,
+    restore planning and the hot-chunk cache all share one walk per
+    snapshot. Pure bookkeeping — no simulated time, no RNG.
+    """
+    generation = getattr(image, "generation", 0)
+    cached = image.__dict__.get("_window_cache")
+    if cached is not None and cached[0] == (generation, chunk_pages):
+        return cached[1]
+    out: List[Tuple[int, int, Tuple[Tuple[int, str], ...], str]] = []
+    for vma_index, vma in enumerate(image.vmas):
+        count = len(vma.resident_indices)
+        if count == 0:
+            continue
+        indices = np.fromiter(vma.resident_indices, dtype=np.int64, count=count)
+        keys = TAGS.keys_of(TAGS.intern_many(vma.content_tags))
+        starts = (indices // chunk_pages) * chunk_pages
+        rel = (indices - starts).tolist()
+        # Window boundaries: positions where the chunk-aligned start
+        # changes (resident indices are ascending within a descriptor).
+        bounds = (np.nonzero(np.diff(starts))[0] + 1).tolist()
+        bounds.append(count)
+        starts_list = starts.tolist()
+        tags = vma.content_tags
+        prefix = f"{vma.kind}|{vma.prot}"
+        lo = 0
+        for hi in bounds:
+            cid = _chunk_id_from_keys(prefix, rel[lo:hi], keys[lo:hi])
+            pairs = tuple(zip(rel[lo:hi], tags[lo:hi]))
+            out.append((vma_index, starts_list[lo], pairs, cid))
+            lo = hi
+    result = tuple(out)
+    image.__dict__["_window_cache"] = ((generation, chunk_pages), result)
+    return result
+
+
 def image_chunk_index(
     image: CheckpointImage,
     chunk_pages: int = CHUNK_PAGES,
@@ -258,22 +326,16 @@ def image_chunk_index(
 
     Returns ``(vma_index, window_start, chunk_id, size_bytes)`` per
     chunk window — what the hot-chunk cache keys restore-time lookups
-    on. Chunking is deterministic in the page content, so the result
-    is cached on the image instance keyed by its mutation
-    ``generation`` (bumped by :meth:`CheckpointImage.tamper` and
-    repairs); repeated restores of the same snapshot pay the window
-    walk once instead of per restore. Pure bookkeeping — no simulated
-    time, no RNG.
+    on (a projection of :func:`image_windows`, memoized the same way).
     """
     generation = getattr(image, "generation", 0)
     cached = image.__dict__.get("_chunk_index_cache")
     if cached is not None and cached[0] == (generation, chunk_pages):
         return cached[1]
     index = tuple(
-        (vma_index, window_start,
-         chunk_id(vma.kind, vma.prot, pairs), len(pairs) * PAGE_SIZE)
-        for vma_index, vma in enumerate(image.vmas)
-        for window_start, pairs in _windows(vma, chunk_pages)
+        (vma_index, window_start, cid, len(pairs) * PAGE_SIZE)
+        for vma_index, window_start, pairs, cid
+        in image_windows(image, chunk_pages)
     )
     image.__dict__["_chunk_index_cache"] = ((generation, chunk_pages), index)
     return index
@@ -294,7 +356,11 @@ def image_chunk_count(image: CheckpointImage,
 
 def _windows(vma: VMADescriptor,
              chunk_pages: int) -> Iterable[Tuple[int, List[Tuple[int, str]]]]:
-    """Yield (window_start, [(relative index, tag), ...]) per chunk."""
+    """Yield (window_start, [(relative index, tag), ...]) per chunk.
+
+    Reference per-page walk, kept for tests and ad-hoc callers; the
+    hot paths go through the vectorized :func:`image_windows`.
+    """
     window_start = -1
     pairs: List[Tuple[int, str]] = []
     for index, tag in zip(vma.resident_indices, vma.content_tags):
@@ -345,16 +411,17 @@ def layer_image(image: CheckpointImage, store: PageStore,
         FUNCTION_CODE_LAYER: [],
         WARM_DELTA_LAYER: [],
     }
-    for vma_index, vma in enumerate(image.vmas):
-        layer_name = _vma_layer(vma, warm_labels)
-        for window_start, pairs in _windows(vma, store.chunk_pages):
-            cid = store.add(vma.kind, vma.prot, pairs)
-            refs[layer_name].append(ChunkRef(
-                vma_index=vma_index,
-                window_start=window_start,
-                chunk_id=cid,
-                page_count=len(pairs),
-            ))
+    layer_names = [_vma_layer(vma, warm_labels) for vma in image.vmas]
+    for vma_index, window_start, pairs, cid in image_windows(
+            image, store.chunk_pages):
+        vma = image.vmas[vma_index]
+        store.add(vma.kind, vma.prot, pairs, cid=cid)
+        refs[layer_names[vma_index]].append(ChunkRef(
+            vma_index=vma_index,
+            window_start=window_start,
+            chunk_id=cid,
+            page_count=len(pairs),
+        ))
     return LayeredImage(
         image_id=image.image_id,
         layers=[SnapshotLayer(name, tuple(chunk_refs))

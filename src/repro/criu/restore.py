@@ -527,8 +527,8 @@ class RestoreEngine:
                 file_offset=desc.file_offset,
                 label=desc.label,
             )
-            for index, tag in zip(desc.resident_indices, desc.content_tags):
-                vma.touch(index, content_tag=tag, dirty=False)
+            vma.populate_pages(desc.resident_indices, desc.content_tags,
+                               dirty=False)
             if desc.file_path is not None:
                 # Mapping the file's dumped pages leaves them warm — the
                 # mechanism behind the paper's cheaper post-restore

@@ -125,9 +125,9 @@ class WorkingSetTracker:
         touched: Set[PageId] = set()
         for vma in proc.address_space.vmas:
             floor = vma.kind in _FLOOR_KINDS
-            for index, page in vma.pages.items():
-                if floor or page.soft_dirty:
-                    touched.add((vma.start, index))
+            start = vma.start
+            for index in vma.touched_indices(floor=floor).tolist():
+                touched.add((start, index))
         return touched
 
     def _on_first_response(self, probe_record) -> None:

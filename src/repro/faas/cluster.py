@@ -144,10 +144,17 @@ class SimulatedCluster:
     # -- public API ---------------------------------------------------------------
 
     def submit_trace(self, arrivals: List[float]) -> None:
-        """Schedule one request process per arrival timestamp."""
-        for arrival in arrivals:
-            self.sim.schedule_at(arrival, self._start_request,
-                                 label="cluster-arrival")
+        """Schedule one request process per arrival timestamp.
+
+        Bulk-scheduled: one heapify instead of a heap push per arrival,
+        which matters for trace-driven studies injecting hundreds of
+        thousands of requests up front.
+        """
+        start_request = self._start_request
+        self.sim.schedule_many(
+            ((arrival, start_request) for arrival in arrivals),
+            label="cluster-arrival",
+        )
 
     def run(self) -> ClusterMetrics:
         """Run the simulation to completion and return the telemetry."""

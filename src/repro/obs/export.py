@@ -273,9 +273,7 @@ def registry_from_jsonl(source: Union[str, pathlib.Path]) -> MetricsRegistry:
         elif kind == GAUGE:
             registry.set_gauge(name, float(record["value"]), labels)
         elif kind == HISTOGRAM:
-            registry.observe(name, 0.0, labels)  # materialize the series
-            histogram = registry.histogram(name, labels)
-            assert histogram is not None
+            histogram = registry.histogram_series(name, labels)
             histogram.buckets = {int(i): int(n)
                                  for i, n in record.get("buckets", {}).items()}
             histogram.count = int(record["count"])

@@ -15,9 +15,13 @@ to multi-second JVM boots.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 LabelSet = Tuple[Tuple[str, str], ...]
+
+_EMPTY_LABELS: LabelSet = ()
 
 
 class MetricsError(Exception):
@@ -25,8 +29,14 @@ class MetricsError(Exception):
 
 
 def label_set(labels: Optional[Dict[str, str]]) -> LabelSet:
-    """Canonical, hashable form of a label dict."""
-    return tuple(sorted((labels or {}).items()))
+    """Canonical, hashable form of a label dict.
+
+    The no-labels case (the overwhelming majority of hot-path writes)
+    short-circuits to a shared empty tuple without building a dict.
+    """
+    if not labels:
+        return _EMPTY_LABELS
+    return tuple(sorted(labels.items()))
 
 
 def labels_match(series: LabelSet, want: Dict[str, str]) -> bool:
@@ -142,6 +152,35 @@ class Histogram:
         )
         return above / self.count
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Batched :meth:`observe` (no exemplars).
+
+        Bucket indices compute in one vectorized ``frexp`` pass;
+        ``count``/``min``/``max`` update exactly as repeated single
+        observations would, and ``total`` accumulates in the same
+        left-to-right order so the float result is bit-identical to
+        the sequential path.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.size == 0:
+            return
+        mantissa, exponent = np.frexp(vals)
+        sub = ((mantissa - 0.5) * (2.0 * SUBBUCKETS)).astype(np.int64)
+        np.clip(sub, 0, SUBBUCKETS - 1, out=sub)
+        indices = (exponent.astype(np.int64) + _EXP_SHIFT) * SUBBUCKETS + sub + 1
+        indices[vals <= 0.0] = 0
+        unique, counts = np.unique(indices, return_counts=True)
+        buckets = self.buckets
+        for index, n in zip(unique.tolist(), counts.tolist()):
+            buckets[index] = buckets.get(index, 0) + n
+        self.count += int(vals.size)
+        total = self.total
+        for value in vals.tolist():
+            total += value
+        self.total = total
+        self.min_value = min(self.min_value, float(vals.min()))
+        self.max_value = max(self.max_value, float(vals.max()))
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` into this histogram (exact for bucket data)."""
         for index, n in other.buckets.items():
@@ -171,6 +210,48 @@ class Metric:
         self.name = name
         self.kind = kind
         self.series: Dict[LabelSet, object] = {}
+
+
+class CounterHandle:
+    """Pre-resolved write path for one counter series.
+
+    Obtained from :meth:`MetricsRegistry.counter`; the family lookup,
+    kind check and label-set canonicalization happen once at resolve
+    time, so each :meth:`inc` is a dict update on the bound series.
+    """
+
+    __slots__ = ("series", "key")
+
+    def __init__(self, series: Dict[LabelSet, object], key: LabelSet) -> None:
+        self.series = series
+        self.key = key
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise MetricsError("counters only go up")
+        series = self.series
+        series[self.key] = series.get(self.key, 0.0) + value  # type: ignore[operator]
+
+    @property
+    def value(self) -> float:
+        return self.series.get(self.key, 0.0)  # type: ignore[return-value]
+
+
+class GaugeHandle:
+    """Pre-resolved write path for one gauge series."""
+
+    __slots__ = ("series", "key")
+
+    def __init__(self, series: Dict[LabelSet, object], key: LabelSet) -> None:
+        self.series = series
+        self.key = key
+
+    def set(self, value: float) -> None:
+        self.series[self.key] = float(value)
+
+    @property
+    def value(self) -> float:
+        return self.series.get(self.key, 0.0)  # type: ignore[return-value]
 
 
 class MetricsRegistry:
@@ -226,6 +307,37 @@ class MetricsRegistry:
             histogram = Histogram()
             family.series[key] = histogram
         histogram.observe(value, exemplar=exemplar)
+
+    # -- pre-resolved handles ---------------------------------------------------------
+
+    def counter(self, name: str,
+                labels: Optional[Dict[str, str]] = None) -> CounterHandle:
+        """Bind a counter series once; the handle's ``inc`` skips the
+        per-write family lookup and label canonicalization."""
+        family = self._family(name, COUNTER)
+        return CounterHandle(family.series, label_set(labels))
+
+    def gauge(self, name: str,
+              labels: Optional[Dict[str, str]] = None) -> GaugeHandle:
+        """Bind a gauge series once (see :meth:`counter`)."""
+        family = self._family(name, GAUGE)
+        return GaugeHandle(family.series, label_set(labels))
+
+    def histogram_series(self, name: str,
+                         labels: Optional[Dict[str, str]] = None) -> Histogram:
+        """The histogram for one label set, created if missing.
+
+        The returned :class:`Histogram` *is* the fast-path handle —
+        ``observe``/``observe_many`` on it write straight into the
+        bucket dict with no registry indirection.
+        """
+        family = self._family(name, HISTOGRAM)
+        key = label_set(labels)
+        histogram = family.series.get(key)
+        if histogram is None:
+            histogram = Histogram()
+            family.series[key] = histogram
+        return histogram  # type: ignore[return-value]
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters add, gauges

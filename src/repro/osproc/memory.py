@@ -7,15 +7,31 @@ protocol to be exercised faithfully (per-VMA kind/protection, resident
 page sets, dirty/soft-dirty bits, file-backed vs anonymous mappings)
 without storing real page contents — a page stores a small content tag
 so snapshot/restore round-trips are verifiable.
+
+Data layout (DESIGN.md §15): the default :class:`VMA` keeps residency
+as an array-of-struct pagemap — parallel numpy arrays for the
+resident/dirty/soft-dirty bits plus an ``int32`` array of content-tag
+ids interned in the process-wide :data:`TAGS` table — so the hot
+operations (``touch_range``, dump walks, restore transmute, soft-dirty
+clears) are single vectorized passes instead of a Python loop
+allocating a ``Page`` object per page. The original dict-of-``Page``
+implementation survives as :class:`SlowVMA`, selected with
+``REPRO_SLOW_PAGEMAP=1`` (or :func:`set_slow_pagemap` at runtime) as
+the reference the equivalence suite and the kernel-bench speedup gate
+measure against. ``Page`` objects returned by either backend are
+snapshots: mutating one never writes back to the pagemap.
 """
 
 from __future__ import annotations
 
 import functools
 import hashlib
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 PAGE_SIZE = 4096
 PAGES_PER_MIB = (1024 * 1024) // PAGE_SIZE
@@ -43,6 +59,63 @@ class MemoryError_(Exception):
     """Address-space manipulation error (name avoids builtin clash)."""
 
 
+class _TagTable:
+    """Process-wide interning table for page content tags.
+
+    Tags repeat enormously (every page of a populated mapping carries
+    the same tag), so the pagemap stores 4-byte ids instead of string
+    references and the content key of each distinct tag is computed
+    exactly once. Interning is append-only; id 0 is always the empty
+    tag, so freshly zeroed pagemap arrays start out correct.
+    """
+
+    __slots__ = ("_ids", "_tags", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {"": 0}
+        self._tags: List[str] = [""]
+        self._keys: List[str] = [page_content_key("")]
+
+    def intern(self, tag: str) -> int:
+        tid = self._ids.get(tag)
+        if tid is None:
+            tid = len(self._tags)
+            self._ids[tag] = tid
+            self._tags.append(tag)
+            self._keys.append(page_content_key(tag))
+        return tid
+
+    def intern_many(self, tags: Sequence[str]) -> np.ndarray:
+        """Intern a tag sequence; returns their ids as an int32 array."""
+        ids = self._ids
+        intern = self.intern
+        return np.fromiter(
+            (ids.get(t) if t in ids else intern(t) for t in tags),
+            dtype=np.int32, count=len(tags),
+        )
+
+    def tag(self, tid: int) -> str:
+        return self._tags[tid]
+
+    def key(self, tid: int) -> str:
+        """Cached :func:`page_content_key` of the interned tag."""
+        return self._keys[tid]
+
+    def tags_of(self, ids: np.ndarray) -> List[str]:
+        tags = self._tags
+        return [tags[i] for i in ids.tolist()]
+
+    def keys_of(self, ids: np.ndarray) -> List[str]:
+        keys = self._keys
+        return [keys[i] for i in ids.tolist()]
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+
+TAGS = _TagTable()
+
+
 class VMAKind(Enum):
     """What a mapping backs — drives dump/restore behaviour."""
 
@@ -57,7 +130,7 @@ class VMAKind(Enum):
 
 @dataclass
 class Page:
-    """A resident 4 KiB page."""
+    """A resident 4 KiB page (a read-only snapshot in the fast backend)."""
 
     index: int                 # page index within its VMA
     content_tag: str = ""      # opaque identity used to verify round-trips
@@ -70,26 +143,40 @@ class Page:
         return page_content_key(self.content_tag)
 
 
-@dataclass
-class VMA:
-    """A contiguous virtual memory area."""
+class _VMABase:
+    """Geometry, validation and derived properties shared by both backends."""
 
     start: int
-    length: int                # bytes; must be page-aligned
+    length: int
     kind: VMAKind
-    prot: str = "rw-"          # unix-style rwx string
-    file_path: Optional[str] = None
-    file_offset: int = 0
-    label: str = ""
-    pages: Dict[int, Page] = field(default_factory=dict)
+    prot: str
+    file_path: Optional[str]
+    file_offset: int
+    label: str
 
-    def __post_init__(self) -> None:
-        if self.length <= 0 or self.length % PAGE_SIZE:
-            raise MemoryError_(f"VMA length must be a positive page multiple, got {self.length}")
-        if self.start % PAGE_SIZE:
-            raise MemoryError_(f"VMA start must be page aligned, got {hex(self.start)}")
-        if self.kind is VMAKind.FILE and not self.file_path:
+    def _init_common(
+        self,
+        start: int,
+        length: int,
+        kind: VMAKind,
+        prot: str,
+        file_path: Optional[str],
+        file_offset: int,
+        label: str,
+    ) -> None:
+        if length <= 0 or length % PAGE_SIZE:
+            raise MemoryError_(f"VMA length must be a positive page multiple, got {length}")
+        if start % PAGE_SIZE:
+            raise MemoryError_(f"VMA start must be page aligned, got {hex(start)}")
+        if kind is VMAKind.FILE and not file_path:
             raise MemoryError_("file-backed VMA requires file_path")
+        self.start = start
+        self.length = length
+        self.kind = kind
+        self.prot = prot
+        self.file_path = file_path
+        self.file_offset = file_offset
+        self.label = label
 
     @property
     def end(self) -> int:
@@ -100,23 +187,223 @@ class VMA:
         return self.length // PAGE_SIZE
 
     @property
-    def resident_pages(self) -> int:
-        return len(self.pages)
-
-    @property
     def resident_bytes(self) -> int:
         return self.resident_pages * PAGE_SIZE
 
+    resident_pages: int  # both backends provide an O(1) implementation
+
+    def overlaps(self, other: "_VMABase") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(start={hex(self.start)}, "
+                f"length={self.length}, kind={self.kind.value}, "
+                f"label={self.label!r}, rss={self.resident_pages}p)")
+
+
+class VMA(_VMABase):
+    """A contiguous virtual memory area (vectorized pagemap backend).
+
+    Residency lives in parallel numpy arrays indexed by page number;
+    content tags are interned ids into :data:`TAGS`. All the bulk
+    operations (:meth:`touch_range`, :meth:`dump_pages`,
+    :meth:`populate_pages`, :meth:`clear_soft_dirty`) are single
+    vectorized passes.
+    """
+
+    __slots__ = ("start", "length", "kind", "prot", "file_path",
+                 "file_offset", "label", "_resident", "_dirty", "_soft",
+                 "_tag_ids", "_resident_count")
+
+    def __init__(
+        self,
+        start: int = 0,
+        length: int = PAGE_SIZE,
+        kind: VMAKind = VMAKind.ANON,
+        prot: str = "rw-",
+        file_path: Optional[str] = None,
+        file_offset: int = 0,
+        label: str = "",
+    ) -> None:
+        self._init_common(start, length, kind, prot, file_path, file_offset, label)
+        n = length // PAGE_SIZE
+        self._resident = np.zeros(n, dtype=bool)
+        self._dirty = np.zeros(n, dtype=bool)
+        self._soft = np.zeros(n, dtype=bool)
+        self._tag_ids = np.zeros(n, dtype=np.int32)
+        self._resident_count = 0
+
+    # -- residency -----------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return self._resident_count
+
     def touch(self, page_index: int, content_tag: str = "", dirty: bool = True) -> Page:
-        """Fault a page in (make it resident)."""
+        """Fault a page in (make it resident); returns a snapshot."""
         if not 0 <= page_index < self.page_count:
             raise MemoryError_(
                 f"page index {page_index} out of range for VMA of {self.page_count} pages"
             )
-        page = self.pages.get(page_index)
+        if self._resident[page_index]:
+            if dirty:
+                self._dirty[page_index] = True
+            if content_tag:
+                self._tag_ids[page_index] = TAGS.intern(content_tag)
+        else:
+            self._resident[page_index] = True
+            self._dirty[page_index] = dirty
+            self._tag_ids[page_index] = TAGS.intern(content_tag)
+            self._resident_count += 1
+        self._soft[page_index] = True
+        return Page(
+            index=page_index,
+            content_tag=TAGS.tag(int(self._tag_ids[page_index])),
+            dirty=bool(self._dirty[page_index]),
+            soft_dirty=True,
+        )
+
+    def touch_range(self, first: int, count: int, content_tag: str = "") -> None:
+        """Fault ``count`` pages starting at ``first`` in one pass."""
+        if count <= 0:
+            return
+        if first < 0 or first + count > self.page_count:
+            raise MemoryError_(
+                f"page range [{first},{first + count}) out of range "
+                f"for VMA of {self.page_count} pages"
+            )
+        window = slice(first, first + count)
+        resident = self._resident[window]
+        newly = count - int(resident.sum())
+        if content_tag:
+            self._tag_ids[window] = TAGS.intern(content_tag)
+        # Empty tag: new pages keep tag id 0 (already zeroed), existing
+        # pages keep their tag — nothing to write either way.
+        self._resident[window] = True
+        self._dirty[window] = True
+        self._soft[window] = True
+        self._resident_count += newly
+
+    def populate_pages(self, indices: Sequence[int], tags: Sequence[str],
+                       dirty: bool = False) -> None:
+        """Bulk-equivalent of ``touch(i, tag, dirty)`` per (index, tag) pair.
+
+        ``indices`` must be unique (descriptor order from a dump is).
+        The restore transmute path uses this to rebuild a mapping's
+        resident set in one vectorized pass.
+        """
+        count = len(indices)
+        if count == 0:
+            return
+        idx = np.asarray(indices, dtype=np.int64)
+        if int(idx.min()) < 0 or int(idx.max()) >= self.page_count:
+            raise MemoryError_(
+                f"page index out of range for VMA of {self.page_count} pages"
+            )
+        ids = TAGS.intern_many(tags)
+        was_resident = self._resident[idx]
+        self._resident[idx] = True
+        self._resident_count += count - int(was_resident.sum())
+        if dirty:
+            self._dirty[idx] = True
+        # A non-empty tag always lands; an empty tag only initializes
+        # newly resident pages (which hold id 0 already) — matching the
+        # per-page touch semantics exactly.
+        overwrite = ~was_resident | (ids != 0)
+        if overwrite.all():
+            self._tag_ids[idx] = ids
+        else:
+            self._tag_ids[idx[overwrite]] = ids[overwrite]
+        self._soft[idx] = True
+
+    # -- bulk views ----------------------------------------------------------
+
+    @property
+    def resident_indices(self) -> np.ndarray:
+        """Resident page indices, ascending (int64 array)."""
+        return np.nonzero(self._resident)[0]
+
+    def dump_pages(self, incremental: bool = False) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+        """(indices, content tags) of pages a dump would copy out.
+
+        ``incremental=True`` restricts to soft-dirty pages — what a
+        second pre-dump pass copies after ``clear_refs``.
+        """
+        mask = self._resident & self._soft if incremental else self._resident
+        idx = np.nonzero(mask)[0]
+        tags = TAGS.tags_of(self._tag_ids[idx])
+        return tuple(idx.tolist()), tuple(tags)
+
+    def touched_indices(self, floor: bool = False) -> np.ndarray:
+        """Resident pages touched since the last soft-dirty clear.
+
+        ``floor=True`` returns every resident page (kinds whose bits
+        the working-set tracker treats as always-hot).
+        """
+        mask = self._resident if floor else self._resident & self._soft
+        return np.nonzero(mask)[0]
+
+    def clear_soft_dirty(self) -> None:
+        self._soft[:] = False
+
+    def iter_pages(self) -> Iterator[Page]:
+        """Yield resident pages in index order (snapshots)."""
+        idx = np.nonzero(self._resident)[0]
+        ids = self._tag_ids[idx].tolist()
+        dirt = self._dirty[idx].tolist()
+        soft = self._soft[idx].tolist()
+        tag = TAGS.tag
+        for i, t, d, s in zip(idx.tolist(), ids, dirt, soft):
+            yield Page(index=i, content_tag=tag(t), dirty=d, soft_dirty=s)
+
+    @property
+    def pages(self) -> Dict[int, Page]:
+        """Materialized {index: Page} snapshot (compatibility view).
+
+        Kept for inspection and tests; hot paths should use the bulk
+        APIs. Mutating the returned pages does not write back.
+        """
+        return {page.index: page for page in self.iter_pages()}
+
+
+class SlowVMA(_VMABase):
+    """Reference dict-of-``Page`` pagemap (the pre-vectorization path).
+
+    Selected with ``REPRO_SLOW_PAGEMAP=1`` or :func:`set_slow_pagemap`.
+    Kept semantically identical to :class:`VMA` — the equivalence
+    property suite pins the two together — and used by the kernel
+    throughput bench as the speedup denominator.
+    """
+
+    __slots__ = ("start", "length", "kind", "prot", "file_path",
+                 "file_offset", "label", "_pages")
+
+    def __init__(
+        self,
+        start: int = 0,
+        length: int = PAGE_SIZE,
+        kind: VMAKind = VMAKind.ANON,
+        prot: str = "rw-",
+        file_path: Optional[str] = None,
+        file_offset: int = 0,
+        label: str = "",
+    ) -> None:
+        self._init_common(start, length, kind, prot, file_path, file_offset, label)
+        self._pages: Dict[int, Page] = {}
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def touch(self, page_index: int, content_tag: str = "", dirty: bool = True) -> Page:
+        if not 0 <= page_index < self.page_count:
+            raise MemoryError_(
+                f"page index {page_index} out of range for VMA of {self.page_count} pages"
+            )
+        page = self._pages.get(page_index)
         if page is None:
             page = Page(index=page_index, content_tag=content_tag, dirty=dirty)
-            self.pages[page_index] = page
+            self._pages[page_index] = page
         else:
             page.dirty = page.dirty or dirty
             if content_tag:
@@ -125,18 +412,86 @@ class VMA:
         return page
 
     def touch_range(self, first: int, count: int, content_tag: str = "") -> None:
+        if count <= 0:
+            return
+        if first < 0 or first + count > self.page_count:
+            raise MemoryError_(
+                f"page range [{first},{first + count}) out of range "
+                f"for VMA of {self.page_count} pages"
+            )
         for i in range(first, first + count):
             self.touch(i, content_tag=content_tag)
 
-    def overlaps(self, other: "VMA") -> bool:
-        return self.start < other.end and other.start < self.end
+    def populate_pages(self, indices: Sequence[int], tags: Sequence[str],
+                       dirty: bool = False) -> None:
+        for index, tag in zip(indices, tags):
+            self.touch(index, content_tag=tag, dirty=dirty)
+
+    @property
+    def resident_indices(self) -> np.ndarray:
+        return np.fromiter(sorted(self._pages), dtype=np.int64,
+                           count=len(self._pages))
+
+    def dump_pages(self, incremental: bool = False) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+        indices = []
+        tags = []
+        for index in sorted(self._pages):
+            page = self._pages[index]
+            if incremental and not page.soft_dirty:
+                continue
+            indices.append(index)
+            tags.append(page.content_tag)
+        return tuple(indices), tuple(tags)
+
+    def touched_indices(self, floor: bool = False) -> np.ndarray:
+        hits = sorted(
+            index for index, page in self._pages.items()
+            if floor or page.soft_dirty
+        )
+        return np.fromiter(hits, dtype=np.int64, count=len(hits))
+
+    def clear_soft_dirty(self) -> None:
+        for page in self._pages.values():
+            page.soft_dirty = False
+
+    def iter_pages(self) -> Iterator[Page]:
+        for index in sorted(self._pages):
+            yield self._pages[index]
+
+    @property
+    def pages(self) -> Dict[int, Page]:
+        return self._pages
+
+
+# -- backend selection -------------------------------------------------------
+
+_SLOW_PAGEMAP = os.environ.get("REPRO_SLOW_PAGEMAP", "") not in ("", "0")
+
+
+def set_slow_pagemap(enabled: bool) -> None:
+    """Switch the pagemap backend new mappings use (see module docs).
+
+    Runtime switchable so the kernel bench can measure both paths in
+    one process; existing VMAs keep whichever backend built them.
+    """
+    global _SLOW_PAGEMAP
+    _SLOW_PAGEMAP = bool(enabled)
+
+
+def slow_pagemap_enabled() -> bool:
+    return _SLOW_PAGEMAP
+
+
+def pagemap_backend() -> Type[_VMABase]:
+    """The VMA class new mappings are built from."""
+    return SlowVMA if _SLOW_PAGEMAP else VMA
 
 
 class AddressSpace:
     """An ordered collection of non-overlapping VMAs."""
 
     def __init__(self) -> None:
-        self._vmas: List[VMA] = []
+        self._vmas: List[_VMABase] = []
         self._next_mmap_base = 0x7F00_0000_0000
 
     # -- mapping -------------------------------------------------------------
@@ -152,13 +507,13 @@ class AddressSpace:
         label: str = "",
         populate: bool = False,
         content_tag: str = "",
-    ) -> VMA:
+    ) -> _VMABase:
         """Create a mapping; kernel picks the address unless ``start`` given."""
         length = -(-length // PAGE_SIZE) * PAGE_SIZE  # round up to page multiple
         if start is None:
             start = self._next_mmap_base
             self._next_mmap_base += length + PAGE_SIZE  # guard page gap
-        vma = VMA(
+        vma = pagemap_backend()(
             start=start,
             length=length,
             kind=kind,
@@ -182,7 +537,7 @@ class AddressSpace:
             vma.touch_range(0, vma.page_count, content_tag=content_tag)
         return vma
 
-    def munmap(self, vma: VMA) -> None:
+    def munmap(self, vma: _VMABase) -> None:
         try:
             self._vmas.remove(vma)
         except ValueError:
@@ -195,16 +550,16 @@ class AddressSpace:
     # -- inspection ----------------------------------------------------------
 
     @property
-    def vmas(self) -> Tuple[VMA, ...]:
+    def vmas(self) -> Tuple[_VMABase, ...]:
         return tuple(self._vmas)
 
-    def find(self, addr: int) -> Optional[VMA]:
+    def find(self, addr: int) -> Optional[_VMABase]:
         for vma in self._vmas:
             if vma.start <= addr < vma.end:
                 return vma
         return None
 
-    def find_by_label(self, label: str) -> Optional[VMA]:
+    def find_by_label(self, label: str) -> Optional[_VMABase]:
         for vma in self._vmas:
             if vma.label == label:
                 return vma
@@ -222,23 +577,22 @@ class AddressSpace:
     def mapped_bytes(self) -> int:
         return sum(v.length for v in self._vmas)
 
-    def iter_resident(self) -> Iterator[Tuple[VMA, Page]]:
+    def iter_resident(self) -> Iterator[Tuple[_VMABase, Page]]:
         """Yield (vma, page) for every resident page, address order.
 
         This is exactly the view ``/proc/<pid>/pagemap`` gives CRIU.
         """
         for vma in self._vmas:
-            for index in sorted(vma.pages):
-                yield vma, vma.pages[index]
+            for page in vma.iter_pages():
+                yield vma, page
 
     def clear_soft_dirty(self) -> None:
         """Model writing ``4`` to ``/proc/<pid>/clear_refs`` (pre-dump)."""
         for vma in self._vmas:
-            for page in vma.pages.values():
-                page.soft_dirty = False
+            vma.clear_soft_dirty()
 
     def grow_anon(self, label: str, mib: float, kind: VMAKind = VMAKind.ANON,
-                  content_tag: str = "") -> VMA:
+                  content_tag: str = "") -> _VMABase:
         """Convenience: map and populate ``mib`` MiB of anonymous memory."""
         pages = max(1, int(round(mib * PAGES_PER_MIB)))
         return self.mmap(

@@ -39,6 +39,11 @@ class ProbeRegistry:
         self._exit: Dict[str, List[ProbeCallback]] = {}
         self.history: List[SyscallRecord] = []
         self.record_history = False
+        # Deterministic count of probe events published since boot —
+        # the numerator the kernel throughput bench divides wall-clock
+        # time into (simulated work is identical across backends, so
+        # events/sec differences are purely dispatch speed).
+        self.events_emitted = 0
 
     def on_enter(self, syscall: str, callback: ProbeCallback) -> None:
         self._enter.setdefault(syscall, []).append(callback)
@@ -52,6 +57,7 @@ class ProbeRegistry:
         self.history.clear()
 
     def emit(self, record: SyscallRecord) -> None:
+        self.events_emitted += 1
         if self.record_history:
             self.history.append(record)
         table = self._enter if record.phase == "enter" else self._exit

@@ -152,3 +152,79 @@ class TestRegistry:
         }
         assert reg.kind_of("c") == "counter"
         assert reg.kind_of("ghost") is None
+
+
+class TestBatchedObserve:
+    def test_observe_many_equals_sequential_observes(self):
+        """Vectorized bucketing must be bit-identical to one-at-a-time
+        observes: same buckets, and the same *sequentially* accumulated
+        sum (a pairwise numpy sum could differ in the last ulp)."""
+        values = [0.001, 0.5, 1.0, 3.14159, 7.0, 1e-9, 1e9, 42.42,
+                  0.0, -1.0, 2.0 ** -1070, 999.25] * 7
+        sequential = Histogram()
+        for value in values:
+            sequential.observe(value)
+        batched = Histogram()
+        batched.observe_many(values)
+        assert batched.buckets == sequential.buckets
+        assert batched.count == sequential.count
+        assert batched.total == sequential.total  # bit-identical
+        assert batched.min_value == sequential.min_value
+        assert batched.max_value == sequential.max_value
+
+    def test_observe_many_empty_is_noop(self):
+        histogram = Histogram()
+        histogram.observe_many([])
+        assert histogram.count == 0
+
+    def test_observe_many_quantiles_agree(self):
+        values = [float(i) for i in range(1, 500)]
+        a, b = Histogram(), Histogram()
+        a.observe_many(values)
+        for value in values:
+            b.observe(value)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert a.quantile(q) == b.quantile(q)
+
+
+class TestHandles:
+    def test_counter_handle_shares_series(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("requests", {"fn": "markdown"})
+        handle.inc()
+        handle.inc(2.0)
+        assert handle.value == 3.0
+        assert registry.value("requests", {"fn": "markdown"}) == 3.0
+        # the handle and the string path address the same series
+        registry.inc("requests", 1.0, {"fn": "markdown"})
+        assert handle.value == 4.0
+
+    def test_counter_handle_rejects_negative(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("n")
+        with pytest.raises(MetricsError):
+            handle.inc(-1.0)
+
+    def test_gauge_handle_sets(self):
+        registry = MetricsRegistry()
+        handle = registry.gauge("depth", {"queue": "restore"})
+        handle.set(7.0)
+        handle.set(3.0)
+        assert handle.value == 3.0
+        assert registry.value("depth", {"queue": "restore"}) == 3.0
+
+    def test_histogram_series_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.histogram_series("lat", {"fn": "a"})
+        first.observe(5.0)
+        again = registry.histogram_series("lat", {"fn": "a"})
+        assert again is first
+        assert registry.quantile("lat", 0.5, {"fn": "a"}) > 0.0
+
+    def test_handle_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m").inc()
+        with pytest.raises(MetricsError):
+            registry.gauge("m")
+        with pytest.raises(MetricsError):
+            registry.histogram_series("m")

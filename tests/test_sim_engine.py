@@ -159,3 +159,42 @@ class TestProcesses:
 
         with pytest.raises(RuntimeError, match="waiting on a signal"):
             sim.run_process(proc())
+
+
+class TestBulkScheduling:
+    def test_schedule_many_matches_sequential(self):
+        """Bulk scheduling preserves FIFO tie-breaking exactly."""
+        times = [3.0, 1.0, 3.0, 0.0, 1.0]
+
+        def run(bulk):
+            sim = Simulation()
+            trace = []
+            entries = [(t, lambda i=i, t=t: trace.append((t, i)))
+                       for i, t in enumerate(times)]
+            if bulk:
+                sim.schedule_many(entries, label="bulk")
+            else:
+                for t, callback in entries:
+                    sim.schedule_at(t, callback)
+            sim.run()
+            return trace
+
+        assert run(bulk=True) == run(bulk=False)
+
+    def test_schedule_many_rejects_past_times(self):
+        sim = Simulation()
+        sim.clock.advance(10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_many([(11.0, lambda: None), (9.0, lambda: None)])
+        # the failed batch must not have enqueued anything
+        assert len(sim.queue) == 0
+
+    def test_events_dispatched_counter(self):
+        sim = Simulation()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        doomed = sim.schedule_at(4.0, lambda: None)
+        doomed.cancel()
+        sim.run()
+        # cancelled events never dispatch
+        assert sim.events_dispatched == 3
