@@ -208,6 +208,39 @@ def collect_kernel_throughput(repetitions: int, seed: int) -> Metrics:
     return metrics
 
 
+def collect_fleet(repetitions: int, seed: int) -> Metrics:
+    """X12 fleet study: 1M-request trace over the sharded fleet.
+
+    Everything recorded here is a deterministic function of the seed
+    (numpy PCG64 streams, no wall clocks), so a same-seed re-run
+    reproduces every value exactly; tolerance only absorbs legitimate
+    model recalibration. ``fleet/requests_total`` and
+    ``fleet/stitched_nodes`` double as structural guards: the request
+    count pins the synthesized trace and the stitched-node count pins
+    the cross-node span tree of the embedded exemplar.
+    """
+    from repro.bench.fleet_study import fleet_study
+
+    result = fleet_study(repetitions=repetitions, seed=seed)
+    rep = result.headline
+    metrics: Metrics = {}
+    metrics["fleet/requests_total"] = \
+        scalar_metric(float(rep.requests), direction=HIGHER)
+    metrics["fleet/cold_p50_ms"] = scalar_metric(rep.cold_p50_ms)
+    metrics["fleet/cold_p99_ms"] = scalar_metric(rep.cold_p99_ms)
+    metrics["fleet/cold_start_rate"] = scalar_metric(
+        rep.cold_starts / rep.requests if rep.requests else 0.0)
+    metrics["fleet/cache_hit_rate"] = \
+        scalar_metric(rep.cache_hit_rate, direction=HIGHER)
+    metrics["fleet/locality_hit_rate"] = \
+        scalar_metric(rep.locality_hit_rate, direction=HIGHER)
+    metrics["fleet/cross_node_kib_per_restore"] = \
+        scalar_metric(rep.cross_node_kib_per_restore)
+    metrics["fleet/stitched_nodes"] = scalar_metric(
+        float(len(result.stitched_nodes())), direction=HIGHER)
+    return metrics
+
+
 @dataclass(frozen=True)
 class Bench:
     """One gated bench: a collector plus its smoke-sized defaults."""
@@ -227,6 +260,7 @@ BENCHES: Dict[str, Bench] = {
     "chaos": Bench("chaos", collect_chaos, default_repetitions=10),
     "kernel-throughput": Bench("kernel-throughput", collect_kernel_throughput,
                                default_repetitions=3),
+    "fleet": Bench("fleet", collect_fleet, default_repetitions=1),
 }
 
 

@@ -205,6 +205,49 @@ def _run_profile(args) -> str:
     return result.render()
 
 
+def _run_fleet_study(args) -> str:
+    """X12: trace-driven fleet study on the fleet observability plane."""
+    import json
+
+    from repro.bench.fleet_study import fleet_study
+
+    result = fleet_study(
+        repetitions=max(1, min(args.repetitions, 3)), seed=args.seed,
+        requests=args.requests, workers=args.workers)
+    if args.fleet_out:
+        with open(args.fleet_out, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, sort_keys=True)
+        log.info("fleet.artifact_written", file=args.fleet_out,
+                 reps=len(result.reps))
+    if args.flame_out and result.reps:
+        attribution = result.headline.attribution
+        folded = attribution.folded_lines() if attribution else []
+        with open(args.flame_out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(folded) + ("\n" if folded else ""))
+        log.info("fleet.flame_written", file=args.flame_out,
+                 stacks=len(folded))
+    return result.render()
+
+
+def _run_fleet_report(args) -> str:
+    """Re-render a recorded fleet artifact (blame table + flamegraph)."""
+    import json
+
+    from repro.bench.fleet_study import render_fleet_report
+
+    with open(args.fleet_in, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if args.flame_out:
+        folded: List[str] = []
+        for rep in artifact.get("reps", []):
+            folded.extend(rep.get("folded", []))
+        with open(args.flame_out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(folded) + ("\n" if folded else ""))
+        log.info("fleet.flame_written", file=args.flame_out,
+                 stacks=len(folded))
+    return render_fleet_report(artifact)
+
+
 def _run_kernel_bench(args) -> str:
     """X11: wall-clock events/sec, vectorized vs per-page reference."""
     from repro.bench.kernelbench import (
@@ -242,6 +285,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "trace": _run_trace,
     "profile": _run_profile,
     "kernel-bench": _run_kernel_bench,
+    "fleet-study": _run_fleet_study,
+    "fleet-report": _run_fleet_report,
 }
 
 
@@ -284,6 +329,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write merged metrics JSONL "
                              "(profile experiment)")
+    parser.add_argument("--requests", type=int, default=1_000_000,
+                        metavar="N",
+                        help="simulated requests per repetition "
+                             "(fleet-study experiment)")
+    parser.add_argument("--fleet-out", default=None, metavar="PATH",
+                        help="write the fleet-study artifact JSON "
+                             "(fleet-study experiment)")
+    parser.add_argument("--fleet-in", default=None, metavar="PATH",
+                        help="recorded fleet artifact to render "
+                             "(fleet-report experiment)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     return parser
@@ -305,6 +360,10 @@ def validate_args(args) -> str | None:
         return f"--workers must be a positive integer, got {args.workers}"
     if args.events is not None and args.events < 1:
         return f"--events must be a positive integer, got {args.events}"
+    if args.requests < 1:
+        return f"--requests must be a positive integer, got {args.requests}"
+    if args.experiment == "fleet-report" and not args.fleet_in:
+        return "fleet-report requires --fleet-in PATH (a recorded artifact)"
     return None
 
 
@@ -319,7 +378,10 @@ def main(argv: List[str] | None = None) -> int:
             print(name)
         return 0
     if args.experiment == "all":
-        names = [n for n in EXPERIMENTS if n != "table1"]  # fig6 covers it
+        # fig6 covers table1; fleet-report only re-renders an existing
+        # artifact (requires --fleet-in), so neither runs under "all".
+        names = [n for n in EXPERIMENTS
+                 if n not in ("table1", "fleet-report")]
     elif args.experiment in EXPERIMENTS:
         names = [args.experiment]
     else:

@@ -345,10 +345,16 @@ class ShardedSnapshotStore:
                 continue
             node.hints[cid] = (home, size_bytes)
             self.handoffs += 1
+            # A zero-duration stitched span: the hinted write is a hop
+            # onto the carrier node, attributed to the active trace
+            # (register_image under a deploy/bake span) if any.
+            with obs.span(self.kernel, "shard.handoff",
+                          node_id=name, home=home, chunk=cid[:12]):
+                pass
             obs.count(self.kernel, "shard_hinted_handoff_total",
                       labels={"node": home})
             obs.record(self.kernel, obs.flight.SHARD_HANDOFF,
-                       home=home, carrier=name, chunk=cid[:12])
+                       home=home, carrier=name, chunk=cid[:12], node=name)
             return
         # No live node can carry the hint; the write stays
         # under-replicated until anti-entropy finds it.
@@ -524,28 +530,45 @@ class ShardedSnapshotStore:
         from repro.criu.pagestore import image_chunk_index
         self.maybe_crash_node(detail=image.image_id)
         report = DegradedRestoreReport(image_id=image.image_id)
-        for _vma, _win, cid, size_bytes in image_chunk_index(image):
-            report.chunks += 1
-            report.total_bytes += size_bytes
-            if cache is not None and cache.contains(cid):
-                cache.lookup(cid, size_bytes)     # bump recency/frequency
-                report.cached_chunks += 1
-                report.cached_bytes += size_bytes
-                continue
-            fetched = self.fetch_window(cid, size_bytes)
-            report.retry_hops += fetched.retry_hops
-            report.slow_ms += fetched.slow_ms
-            report.read_repairs += fetched.read_repaired
-            if fetched.found:
-                report.shard_chunks += 1
-                if fetched.degraded:
-                    report.degraded_chunks += 1
-                if cache is not None:
-                    cache.lookup(cid, size_bytes)  # admit the fresh fetch
-            else:
-                report.failed_chunks.append(cid)
-        report.nodes_down = self.down_nodes()
-        report.breakers_open = self.open_breakers()
+        # The pass runs synchronously under the caller's criu.restore
+        # span, so stack-wins parenting stitches every remote hop into
+        # the request's own trace: one cold start, one span tree,
+        # crossing from the compute node into the storage nodes.
+        with obs.span(self.kernel, "shard.restore-pass",
+                      image_id=image.image_id[:12]) as pass_span:
+            for _vma, _win, cid, size_bytes in image_chunk_index(image):
+                report.chunks += 1
+                report.total_bytes += size_bytes
+                if cache is not None and cache.contains(cid):
+                    cache.lookup(cid, size_bytes)  # bump recency/frequency
+                    report.cached_chunks += 1
+                    report.cached_bytes += size_bytes
+                    continue
+                with obs.span(self.kernel, "shard.fetch",
+                              chunk=cid[:12]) as fetch_span:
+                    fetched = self.fetch_window(cid, size_bytes)
+                    fetch_span.set(
+                        node_id=fetched.served_by or "unavailable",
+                        hop=fetched.retry_hops,
+                        degraded=fetched.degraded)
+                report.retry_hops += fetched.retry_hops
+                report.slow_ms += fetched.slow_ms
+                report.read_repairs += fetched.read_repaired
+                if fetched.found:
+                    report.shard_chunks += 1
+                    if fetched.degraded:
+                        report.degraded_chunks += 1
+                    if cache is not None:
+                        cache.lookup(cid, size_bytes)  # admit fresh fetch
+                else:
+                    report.failed_chunks.append(cid)
+            report.nodes_down = self.down_nodes()
+            report.breakers_open = self.open_breakers()
+            pass_span.set(chunks=report.chunks,
+                          cached_chunks=report.cached_chunks,
+                          shard_chunks=report.shard_chunks,
+                          retry_hops=report.retry_hops,
+                          degraded_chunks=report.degraded_chunks)
         kernel = self.kernel
         obs.count(kernel, "shard_fetch_total", value=float(report.chunks))
         if report.degraded_chunks:

@@ -72,6 +72,10 @@ class FunctionDeployer:
             allocation = self.resources.place(
                 function, memory_mib, privileged=privileged,
                 prefer=self._locality_hint(metadata))
+            # Fleet stitching: the provision span carries the compute
+            # node's identity, so a cross-node trace names every hop.
+            provision_span.set(node_id=allocation.node.name)
+            self._account_placement_locality(metadata, allocation.node.name)
 
             # Container/VM provisioning cost — zero in the paper's §4
             # experiments, configurable for the §5 integration demos.
@@ -202,6 +206,37 @@ class FunctionDeployer:
             obs.count(self.kernel, "deployer_locality_hint_total",
                       labels={"function": metadata.name, "node": best_name})
         return best_name
+
+    def _account_placement_locality(self, metadata: FunctionMetadata,
+                                    node_name: str) -> None:
+        """Score the placement the deployer just committed to.
+
+        Measured against the chosen node's hot-chunk cache *before*
+        the restore admits this image's chunks: a cold start landing
+        on a node whose cache holds a minority (<50%) of the image's
+        manifest bytes is a locality miss — the hint either lost to
+        capacity pressure or had nothing warm to offer. Feeds the
+        ``locality-miss-rate`` anomaly watch and the fleet report.
+        Sharded prebake clusters only; legacy worlds emit nothing.
+        """
+        if self.shard_store is None or metadata.start_technique != "prebake":
+            return
+        layered = self.prebake_manager.store.layered(
+            self._snapshot_key(metadata))
+        if layered is None:
+            return
+        cache = self._node_chunk_cache.get(node_name)
+        total = cached = 0
+        for ref in layered.chunk_refs:
+            total += ref.size_bytes
+            if cache is not None and cache.contains(ref.chunk_id):
+                cached += ref.size_bytes
+        labels = {"function": metadata.name, "node": node_name}
+        obs.count(self.kernel, "deployer_cold_placement_total",
+                  labels=labels)
+        if total and cached * 2 < total:
+            obs.count(self.kernel, "deployer_locality_miss_total",
+                      labels=labels)
 
     def _account_layer_pull(self, metadata: FunctionMetadata,
                             node_name: str) -> None:

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.obs import export  # re-exported for `obs.export.*` call sites
+from repro.obs import fleet   # re-exported for `obs.fleet.*` call sites
 from repro.obs import flight  # re-exported for `obs.flight.*` call sites
 from repro.obs import timeseries as _timeseries
 from repro.obs.context import TraceContext
@@ -77,13 +78,17 @@ def install_flight(kernel, capacity: int = flight.DEFAULT_CAPACITY,
     """Install (or fetch) the flight recorder on ``kernel.flight``.
 
     Trace/span correlation engages automatically when the telemetry
-    hub is installed too (install the hub first to correlate).
+    hub is installed too (install the hub first to correlate), and so
+    does drop accounting: with a hub present, ring evictions increment
+    ``flight_dropped_total`` in the hub registry.
     """
     if kernel.flight is None:
-        tracer = kernel.obs.tracer if kernel.obs is not None else None
+        hub = kernel.obs
+        tracer = hub.tracer if hub is not None else None
+        metrics = hub.metrics if hub is not None else None
         kernel.flight = flight.FlightRecorder(
             kernel.clock, tracer=tracer, capacity=capacity,
-            sample_metrics=sample_metrics)
+            sample_metrics=sample_metrics, metrics=metrics)
     return kernel.flight
 
 
@@ -254,6 +259,7 @@ __all__ = [
     "GaugeHandle",
     "record",
     "current_context",
+    "fleet",
     "flight",
     "TraceContext",
     "Span",

@@ -55,6 +55,7 @@ COLD_START_LATENCY = "cold-start-latency"
 RESTORE_FAILURE_RATE = "restore-failure-rate"
 CHUNK_CACHE_MISS_RATE = "chunk-cache-miss-rate"
 DEGRADED_RESTORE_RATE = "degraded-restore-rate"
+LOCALITY_MISS_RATE = "locality-miss-rate"
 
 
 class AnomalyEvent:
@@ -355,7 +356,10 @@ def default_monitor(kernel=None, window_ms: float = 500.0,
       is 0, so ``min_delta`` is what separates real failure bursts
       from float dust);
     * chunk-cache miss-rate spikes (per window; the complement of the
-      hit-rate SLO, with the same baseline-0 robustness).
+      hit-rate SLO, with the same baseline-0 robustness);
+    * locality miss-rate spikes (per window; the deployer placed a
+      cold start on a node whose chunk cache held a minority of the
+      image's working set — the placement hint stopped paying off).
     """
     monitor = AnomalyMonitor(kernel=kernel, window_ms=window_ms)
     monitor.watch_samples(
@@ -390,5 +394,14 @@ def default_monitor(kernel=None, window_ms: float = 500.0,
                                  z_threshold=z_threshold,
                                  warmup=rate_warmup, direction=ABOVE,
                                  min_delta=0.05),
+    )
+    monitor.watch_rate(
+        LOCALITY_MISS_RATE,
+        bad_metric="deployer_locality_miss_total",
+        total_metric="deployer_cold_placement_total",
+        detector=EwmaMadDetector(LOCALITY_MISS_RATE,
+                                 z_threshold=z_threshold,
+                                 warmup=rate_warmup, direction=ABOVE,
+                                 min_delta=0.10),
     )
     return monitor

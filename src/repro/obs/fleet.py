@@ -1,0 +1,528 @@
+"""Fleet observability plane: node-labeled metric federation.
+
+A single :class:`~repro.obs.metrics.MetricsRegistry` describes one
+world (or one node). A fleet — deployer nodes plus storage nodes — is
+a *set* of registries, and the questions worth asking of it are
+cross-node: what is the fleet cold-start p99, which node is burning
+it, which functions and chunks are hot everywhere. This module keeps
+those answers memory-bounded at millions-of-requests scale:
+
+* :class:`FleetRegistry` — per-node registries merged on demand under
+  a ``node=`` label (counters add, histograms merge bucket-wise via
+  :meth:`Histogram.merge`), so fleet p50/p99 always come from merged
+  histograms, never from materialized sample lists. Re-attaching a
+  node replaces its contribution, making federation idempotent.
+* :class:`SpaceSavingSketch` — the Metwally/Agrawal/El Abbadi
+  Space-Saving heavy-hitters sketch: top-k hot functions / hot chunks
+  in O(capacity) memory with a per-key overestimation bound.
+* :class:`FleetWindowSeries` — streaming per-window rollups: one
+  bounded histogram per (window, node), merged at window close into
+  fleet-level p50/p99 points; a bounded deque of closed windows.
+* :class:`ColdStartAttribution` — the exact critical-path
+  decomposition of PR4's :class:`~repro.obs.profile.PhaseProfiler`
+  (phase sums equal ready-spawned time to float round-off, enforced
+  on every record) bucketed by (function, node, cache outcome),
+  renderable as a fleet blame table and folded flamegraph stacks.
+
+Federation is strictly opt-in: nothing here is touched by world-local
+instrumentation, so serial single-node runs stay byte-identical to
+the committed baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    SUBBUCKETS,
+    Histogram,
+    MetricsRegistry,
+    label_set,
+)
+
+NODE_LABEL = "node"
+
+# Canonical cache outcomes for cold-start attribution buckets.
+OUTCOME_LOCAL_HIT = "local-hit"        # majority of image bytes from the node cache
+OUTCOME_REMOTE_FETCH = "remote-fetch"  # majority pulled from storage nodes, clean quorum
+OUTCOME_DEGRADED = "degraded"          # quorum needed retry hops / lost replicas
+
+OUTCOMES = (OUTCOME_LOCAL_HIT, OUTCOME_REMOTE_FETCH, OUTCOME_DEGRADED)
+
+
+class FleetError(Exception):
+    """Fleet federation misuse (conflicting node labels, bad phases)."""
+
+
+def bucket_width(value: float) -> float:
+    """Width of the log-linear bucket holding ``value``.
+
+    The quantile error bound of one merged-histogram read: a fleet
+    p99 from merged buckets sits within one bucket width of the p99
+    over the concatenated samples.
+    """
+    if value <= 0.0:
+        return 0.0
+    _mantissa, exponent = math.frexp(value)
+    return math.ldexp(1.0, exponent - 1) / SUBBUCKETS
+
+
+# ---------------------------------------------------------------------------
+# Space-Saving top-k sketch
+# ---------------------------------------------------------------------------
+
+
+class SpaceSavingSketch:
+    """Memory-bounded heavy hitters (Space-Saving, SIGMOD'05 variant).
+
+    Holds at most ``capacity`` keys. A new key arriving at a full
+    sketch evicts the current minimum-count key and inherits its count
+    as overestimation ``error`` — so ``count - error`` is a guaranteed
+    lower bound on the key's true weight, and any key whose true
+    weight exceeds ``total / capacity`` is guaranteed present.
+    Deterministic: eviction ties break on the lexicographically
+    smallest key.
+    """
+
+    __slots__ = ("capacity", "total", "_counts", "_errors")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise FleetError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0.0
+        self._counts: Dict[str, float] = {}
+        self._errors: Dict[str, float] = {}
+
+    def offer(self, key: str, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise FleetError("sketch weights only go up")
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self._errors[key] = 0.0
+            return
+        victim = min(counts, key=lambda k: (counts[k], k))
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def top(self, k: int) -> List[Tuple[str, float, float]]:
+        """The ``k`` heaviest tracked keys as ``(key, count, error)``,
+        heaviest first (ties on key for deterministic output)."""
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(key, count, self._errors[key])
+                for key, count in ranked[:max(0, k)]]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "entries": [
+                {"key": key, "count": count, "error": error}
+                for key, count, error in self.top(self.capacity)
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Node-labeled federation
+# ---------------------------------------------------------------------------
+
+
+class FleetRegistry:
+    """Per-node :class:`MetricsRegistry` instances federated on read.
+
+    Writes stay node-local (each node's hot path owns its registry,
+    no cross-node synchronization); fleet reads merge the node
+    registries under ``node=<id>`` labels through the exact
+    counter/histogram merge from PR4. :meth:`attach` *replaces* a
+    node's registry, so federating the same node twice is idempotent
+    — the fleet never double-counts a re-announced node.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, MetricsRegistry] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def node(self, node_id: str) -> MetricsRegistry:
+        """The node's registry, created empty on first use."""
+        registry = self._nodes.get(node_id)
+        if registry is None:
+            registry = MetricsRegistry()
+            self._nodes[node_id] = registry
+        return registry
+
+    def attach(self, node_id: str, registry: MetricsRegistry) -> None:
+        """Federate (or re-federate) one node's registry.
+
+        A series inside ``registry`` already labeled with a *different*
+        node id is a conflicting label set — two nodes' series would
+        collapse into one under the fleet label — and raises
+        :class:`FleetError` instead of silently merging.
+        """
+        if not node_id:
+            raise FleetError("node_id must be non-empty")
+        for family in registry.families():
+            for key in family.series:
+                have = dict(key)
+                claimed = have.get(NODE_LABEL)
+                if claimed is not None and claimed != node_id:
+                    raise FleetError(
+                        f"registry for node {node_id!r} carries series "
+                        f"{family.name!r} labeled node={claimed!r}"
+                    )
+        self._nodes[node_id] = registry
+
+    def node_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    # -- fleet reads ---------------------------------------------------------
+
+    def merged(self) -> MetricsRegistry:
+        """One registry with every node's series under ``node=`` labels.
+
+        Rebuilt from the attached node registries on every call —
+        which is what makes federation idempotent: the merge input is
+        always the current per-node truth, never a running total.
+        """
+        fleet = MetricsRegistry()
+        for node_id in self.node_ids():
+            fleet.merge(_relabeled(self._nodes[node_id], node_id))
+        return fleet
+
+    def fleet_histogram(self, name: str,
+                        labels: Optional[Dict[str, str]] = None
+                        ) -> Optional[Histogram]:
+        """The node histograms for one label set merged into one.
+
+        This is the only sanctioned path to a fleet quantile: bucket
+        counts merge exactly, so the answer matches a single giant
+        histogram over all observations — with no per-request samples
+        retained anywhere.
+        """
+        merged: Optional[Histogram] = None
+        for node_id in self.node_ids():
+            histogram = self._nodes[node_id].histogram(name, labels)
+            if histogram is None:
+                continue
+            if merged is None:
+                merged = Histogram()
+            merged.merge(histogram)
+        return merged
+
+    def fleet_quantile(self, name: str, q: float,
+                       labels: Optional[Dict[str, str]] = None) -> float:
+        histogram = self.fleet_histogram(name, labels)
+        return histogram.quantile(q) if histogram else 0.0
+
+    def fleet_value(self, name: str,
+                    labels: Optional[Dict[str, str]] = None) -> float:
+        """Counter/gauge sum across every node."""
+        return sum(registry.value(name, labels)
+                   for registry in self._nodes.values())
+
+    def per_node_value(self, name: str,
+                       labels: Optional[Dict[str, str]] = None
+                       ) -> Dict[str, float]:
+        return {node_id: self._nodes[node_id].value(name, labels)
+                for node_id in self.node_ids()}
+
+
+def _relabeled(registry: MetricsRegistry, node_id: str) -> MetricsRegistry:
+    """A copy of ``registry`` with ``node=node_id`` on every series.
+
+    Histograms are copied via a merge into a fresh histogram, so the
+    fleet view never aliases (or mutates) node-local state; exemplars
+    ride along — a fleet p99 bucket still names the trace that
+    produced it.
+    """
+    out = MetricsRegistry()
+    for family in registry.families():
+        for key, series in family.series.items():
+            labels = dict(key)
+            labels[NODE_LABEL] = node_id
+            if family.kind == "counter":
+                out.inc(family.name, float(series), labels)  # type: ignore[arg-type]
+            elif family.kind == "gauge":
+                out.set_gauge(family.name, float(series), labels)  # type: ignore[arg-type]
+            else:
+                target = out.histogram_series(family.name, labels)
+                target.merge(series)  # type: ignore[arg-type]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Streaming per-window rollups
+# ---------------------------------------------------------------------------
+
+DEFAULT_WINDOW_MS = 60_000.0
+DEFAULT_WINDOW_CAPACITY = 512
+
+
+class WindowPoint:
+    """One closed window's fleet rollup (merged across nodes)."""
+
+    __slots__ = ("start_ms", "count", "p50", "p99", "max_value")
+
+    def __init__(self, start_ms: float, count: int, p50: float, p99: float,
+                 max_value: float) -> None:
+        self.start_ms = start_ms
+        self.count = count
+        self.p50 = p50
+        self.p99 = p99
+        self.max_value = max_value
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"start_ms": self.start_ms, "count": self.count,
+                "p50": self.p50, "p99": self.p99, "max": self.max_value}
+
+
+class FleetWindowSeries:
+    """Per-window fleet quantiles, streamed and bounded.
+
+    Observations land in one histogram per (current window, node);
+    when simulated time crosses a window boundary the node histograms
+    merge into a fleet histogram whose p50/p99 become one
+    :class:`WindowPoint`. State is bounded by (nodes in the current
+    window) + ``capacity`` closed points — per-request samples are
+    never retained.
+    """
+
+    def __init__(self, window_ms: float = DEFAULT_WINDOW_MS,
+                 capacity: int = DEFAULT_WINDOW_CAPACITY) -> None:
+        if window_ms <= 0:
+            raise FleetError(f"window_ms must be positive, got {window_ms}")
+        if capacity < 1:
+            raise FleetError(f"capacity must be >= 1, got {capacity}")
+        self.window_ms = window_ms
+        self.capacity = capacity
+        self.points: List[WindowPoint] = []
+        self.evicted = 0
+        self._window_index: Optional[int] = None
+        self._current: Dict[str, Histogram] = {}
+
+    def observe(self, node_id: str, at_ms: float, value: float) -> None:
+        index = int(at_ms // self.window_ms)
+        if self._window_index is None:
+            self._window_index = index
+        while self._window_index < index:
+            self._close()
+            self._window_index += 1
+        histogram = self._current.get(node_id)
+        if histogram is None:
+            histogram = Histogram()
+            self._current[node_id] = histogram
+        histogram.observe(value)
+
+    def flush(self) -> None:
+        """Close the final partial window — call at end of run."""
+        if self._window_index is not None and self._current:
+            self._close()
+            self._window_index += 1
+
+    def _close(self) -> None:
+        if not self._current:
+            return
+        merged = Histogram()
+        for node_id in sorted(self._current):
+            merged.merge(self._current[node_id])
+        self._current = {}
+        assert self._window_index is not None
+        self.points.append(WindowPoint(
+            start_ms=self._window_index * self.window_ms,
+            count=merged.count,
+            p50=merged.quantile(0.5),
+            p99=merged.quantile(0.99),
+            max_value=merged.max_value,
+        ))
+        overflow = len(self.points) - self.capacity
+        if overflow > 0:
+            del self.points[:overflow]
+            self.evicted += overflow
+
+
+# ---------------------------------------------------------------------------
+# Cold-start attribution
+# ---------------------------------------------------------------------------
+
+# Phase sums must equal the request's ready-spawned time to float
+# round-off (the PhaseProfiler invariant, PR4). One part in 1e9 of the
+# total covers any associativity dust without hiding a real leak.
+PHASE_SUM_REL_TOLERANCE = 1e-9
+
+
+class AttributionCell:
+    """Accumulated decomposition of one (function, node, outcome)."""
+
+    __slots__ = ("function", "node", "outcome", "count", "total_ms",
+                 "phase_ms")
+
+    def __init__(self, function: str, node: str, outcome: str) -> None:
+        self.function = function
+        self.node = node
+        self.outcome = outcome
+        self.count = 0
+        self.total_ms = 0.0
+        self.phase_ms: Dict[str, float] = {}
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def dominant_phase(self) -> str:
+        if not self.phase_ms:
+            return "-"
+        return max(self.phase_ms.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function, "node": self.node,
+            "outcome": self.outcome, "count": self.count,
+            "total_ms": self.total_ms,
+            "phases": dict(sorted(self.phase_ms.items())),
+        }
+
+
+class ColdStartAttribution:
+    """Exact critical-path decomposition, bucketed and bounded.
+
+    State is one cell per (function, node, cache outcome) — bounded
+    by the key space, never by request count. Every :meth:`record`
+    enforces the accounting invariant before accumulating: the phase
+    sums must reproduce the request's ready-spawned total to float
+    round-off, so the blame table can never silently leak time.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, str, str], AttributionCell] = {}
+
+    def record(self, function: str, node: str, outcome: str,
+               phases: Dict[str, float], total_ms: float) -> None:
+        if outcome not in OUTCOMES:
+            raise FleetError(f"unknown cache outcome {outcome!r}; "
+                             f"expected one of {OUTCOMES}")
+        phase_sum = 0.0
+        for value in phases.values():
+            phase_sum += value
+        tolerance = PHASE_SUM_REL_TOLERANCE * max(1.0, abs(total_ms))
+        if abs(phase_sum - total_ms) > tolerance:
+            raise FleetError(
+                f"phase sums must equal ready-spawned time: "
+                f"{phase_sum!r} != {total_ms!r} for {function}/{node}"
+            )
+        key = (function, node, outcome)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = AttributionCell(function, node, outcome)
+            self._cells[key] = cell
+        cell.count += 1
+        cell.total_ms += total_ms
+        for phase, value in phases.items():
+            cell.phase_ms[phase] = cell.phase_ms.get(phase, 0.0) + value
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(cell.total_ms for cell in self._cells.values())
+
+    def cells(self) -> List[AttributionCell]:
+        """All cells, heaviest total first (deterministic tie order)."""
+        return sorted(self._cells.values(),
+                      key=lambda c: (-c.total_ms, c.function, c.node,
+                                     c.outcome))
+
+    def blame_table(self, top: int = 12) -> str:
+        """The fleet blame table: who is burning the cold-start time."""
+        fleet_total = self.total_ms or 1.0
+        rows = []
+        for cell in self.cells()[:max(0, top)]:
+            rows.append([
+                cell.function, cell.node, cell.outcome, str(cell.count),
+                f"{cell.total_ms:.1f}", f"{cell.mean_ms:.2f}",
+                f"{100.0 * cell.total_ms / fleet_total:.1f}%",
+                cell.dominant_phase(),
+            ])
+        return _format_table(
+            ["function", "node", "outcome", "count", "total(ms)",
+             "mean(ms)", "share", "dominant phase"],
+            rows,
+        )
+
+    def folded_lines(self, prefix: str = "fleet") -> List[str]:
+        """Folded flamegraph stacks (``frame;frame <integer µs>``).
+
+        Stack order node → function → outcome → phase, so a fleet
+        flamegraph drills from *where* through *what* to *why*.
+        """
+        lines = []
+        for cell in self.cells():
+            base = f"{prefix};{cell.node};{cell.function};{cell.outcome}"
+            for phase in sorted(cell.phase_ms):
+                micros = int(round(cell.phase_ms[phase] * 1000.0))
+                if micros > 0:
+                    lines.append(f"{base};{phase} {micros}")
+        return lines
+
+    def as_dict(self) -> List[Dict[str, object]]:
+        return [cell.as_dict() for cell in self.cells()]
+
+    @classmethod
+    def from_dict(cls, records: Iterable[Dict[str, object]]
+                  ) -> "ColdStartAttribution":
+        out = cls()
+        for record in records:
+            cell = AttributionCell(str(record["function"]),
+                                   str(record["node"]),
+                                   str(record["outcome"]))
+            cell.count = int(record["count"])          # type: ignore[arg-type]
+            cell.total_ms = float(record["total_ms"])  # type: ignore[arg-type]
+            cell.phase_ms = {str(k): float(v)
+                             for k, v in dict(record["phases"]).items()}  # type: ignore[arg-type]
+            out._cells[(cell.function, cell.node, cell.outcome)] = cell
+        return out
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(row)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "NODE_LABEL",
+    "OUTCOME_LOCAL_HIT",
+    "OUTCOME_REMOTE_FETCH",
+    "OUTCOME_DEGRADED",
+    "OUTCOMES",
+    "FleetError",
+    "bucket_width",
+    "SpaceSavingSketch",
+    "FleetRegistry",
+    "FleetWindowSeries",
+    "WindowPoint",
+    "ColdStartAttribution",
+    "AttributionCell",
+    "label_set",
+]

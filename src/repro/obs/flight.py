@@ -87,20 +87,32 @@ class FlightError(Exception):
 
 
 class FlightEvent:
-    """One structured lifecycle event on the flight tape."""
+    """One structured lifecycle event on the flight tape.
 
-    __slots__ = ("seq", "at_ms", "kind", "trace_id", "span_id", "attrs")
+    ``node`` is the first-class node identity of the emitter (a
+    compute ``node-*`` or storage ``store-*`` id) so fleet tooling can
+    slice a tape by node without digging through free-form attrs; a
+    ``node=`` keyword passed to :meth:`FlightRecorder.record` is
+    hoisted into it.
+    """
+
+    __slots__ = ("seq", "at_ms", "kind", "trace_id", "span_id", "node",
+                 "attrs")
 
     def __init__(self, seq: int, at_ms: float, kind: str,
                  trace_id: Optional[str] = None,
                  span_id: Optional[int] = None,
-                 attrs: Optional[Dict[str, object]] = None) -> None:
+                 attrs: Optional[Dict[str, object]] = None,
+                 node: Optional[str] = None) -> None:
         self.seq = seq
         self.at_ms = at_ms
         self.kind = kind
         self.trace_id = trace_id
         self.span_id = span_id
         self.attrs = attrs or {}
+        if node is None and "node" in self.attrs:
+            node = str(self.attrs["node"])
+        self.node = node
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form (one JSONL tape line)."""
@@ -114,6 +126,8 @@ class FlightEvent:
             record["trace"] = self.trace_id
         if self.span_id is not None:
             record["span"] = self.span_id
+        if self.node is not None:
+            record["node"] = self.node
         return record
 
     @classmethod
@@ -132,6 +146,8 @@ class FlightEvent:
                 span_id=(None if record.get("span") is None
                          else int(record["span"])),  # type: ignore[arg-type]
                 attrs=dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+                node=(None if record.get("node") is None
+                      else str(record["node"])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FlightError(f"malformed flight event: {exc}") from None
@@ -160,13 +176,18 @@ class FlightRecorder:
 
     def __init__(self, clock, tracer=None,
                  capacity: int = DEFAULT_CAPACITY,
-                 sample_metrics: bool = False) -> None:
+                 sample_metrics: bool = False,
+                 metrics=None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.clock = clock
         self.tracer = tracer
         self.capacity = capacity
         self.sample_metrics = sample_metrics
+        # Optional MetricsRegistry: evictions increment
+        # flight_dropped_total there, so truncated evidence is visible
+        # in scrapes and fleet reports, not only on the ring object.
+        self.metrics = metrics
         self._ring: Deque[FlightEvent] = deque(maxlen=capacity)
         self.total = 0          # events ever recorded
         self._next_seq = 1
@@ -196,7 +217,10 @@ class FlightRecorder:
         )
         self._next_seq += 1
         self.total += 1
+        evicting = len(self._ring) == self.capacity
         self._ring.append(event)
+        if evicting and self.metrics is not None:
+            self.metrics.inc("flight_dropped_total")
         return event
 
     # -- inspection ------------------------------------------------------------

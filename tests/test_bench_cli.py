@@ -61,6 +61,11 @@ class TestArgumentValidation:
         (["fig3", "-s", "-1"], "--seed"),
         (["fig3", "-w", "0"], "--workers"),
         (["fig3", "-w", "-2"], "--workers"),
+        (["fleet-study", "-r", "0"], "--repetitions"),
+        (["fleet-study", "-s", "-1"], "--seed"),
+        (["fleet-study", "-w", "0"], "--workers"),
+        (["fleet-study", "--requests", "0"], "--requests"),
+        (["fleet-study", "--requests", "-3"], "--requests"),
     ])
     def test_non_positive_knobs_exit_2_with_a_clear_message(
             self, capsys, argv, flag):
@@ -68,6 +73,10 @@ class TestArgumentValidation:
         err = capsys.readouterr().err
         assert flag in err
         assert "positive" in err
+
+    def test_fleet_report_requires_an_artifact(self, capsys):
+        assert main(["fleet-report"]) == 2
+        assert "--fleet-in" in capsys.readouterr().err
 
     def test_validation_runs_before_the_experiment(self, capsys):
         # Even a bogus experiment name with a bad knob reports the

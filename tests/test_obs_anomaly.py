@@ -159,6 +159,15 @@ class TestHelperWiring:
         # additive denominator a 100%-failure window would divide by 0.
         assert restore.additive_total
 
+    def test_default_monitor_watches_placement_locality(self):
+        from repro.obs.anomaly import LOCALITY_MISS_RATE
+
+        monitor = default_monitor()
+        watch = next(w for w in monitor._rate_watches
+                     if w.name == LOCALITY_MISS_RATE)
+        assert watch.bad_metric == "deployer_locality_miss_total"
+        assert watch.total_metric == "deployer_cold_placement_total"
+
     def test_prometheus_attach_fires_synthetic_alerts(self):
         from repro.faas.openfaas.prometheus import PrometheusLite
 

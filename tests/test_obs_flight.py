@@ -41,6 +41,24 @@ class TestEventRoundTrip:
         assert clone.span_id == 9
         assert clone.attrs == event.attrs
 
+    def test_node_field_round_trips_and_hoists_from_attrs(self):
+        event = FlightEvent(seq=1, at_ms=5.0, kind="restore.started",
+                            node="node-3", attrs={"image": "img-000001"})
+        clone = FlightEvent.from_dict(event.as_dict())
+        assert clone.node == "node-3"
+        assert clone.as_dict()["node"] == "node-3"
+        # Recording with a node= attr labels the event without callers
+        # having to know about the dedicated field.
+        hoisted = FlightEvent(seq=2, at_ms=6.0, kind="restore.started",
+                              attrs={"node": "store-1"})
+        assert hoisted.node == "store-1"
+        # Legacy events without a node stay node-less after a round
+        # trip (no "node" key invented on the wire).
+        legacy = FlightEvent(seq=3, at_ms=7.0, kind="restore.started")
+        assert legacy.node is None
+        assert "node" not in legacy.as_dict()
+        assert FlightEvent.from_dict(legacy.as_dict()).node is None
+
     def test_jsonl_round_trip_preserves_order_and_payload(self, tmp_path):
         kernel = make_world(seed=3).kernel
         recorder = obs.install_flight(kernel)
@@ -84,6 +102,24 @@ class TestRingEviction:
         assert recorder.dropped == 6
         # seq numbering is global, not per-ring-slot.
         assert [e.seq for e in recorder.events()] == [7, 8, 9, 10]
+
+    def test_evictions_count_into_flight_dropped_total(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        kernel = make_world(seed=1).kernel
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(kernel.clock, capacity=4, metrics=registry)
+        for index in range(10):
+            recorder.record("request.admitted", request_id=index)
+        assert recorder.dropped == 6
+        assert registry.value("flight_dropped_total") == 6.0
+
+    def test_installed_recorder_reports_drops_to_world_metrics(self):
+        kernel = make_world(seed=2, observe=True).kernel
+        recorder = obs.install_flight(kernel, capacity=2)
+        for index in range(5):
+            recorder.record("request.admitted", request_id=index)
+        assert kernel.obs.metrics.value("flight_dropped_total") == 3.0
 
     def test_last_n_and_kind_filter(self):
         kernel = make_world(seed=1).kernel

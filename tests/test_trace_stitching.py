@@ -1,0 +1,109 @@
+"""Cross-node trace stitching: one cold start, one multi-node tree.
+
+The fleet-plane acceptance criterion: a single cold start whose
+restore pulls chunks from remote storage nodes must produce ONE
+connected span tree carrying node identities from at least two nodes
+— the compute node that provisioned the replica plus the storage
+nodes that served the quorum fetches.
+"""
+
+from repro import make_world
+from repro.bench.fleet_study import stitched_trace_nodes
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.functions import make_app
+
+
+def sharded_platform(seed=11, storage_nodes=4):
+    world = make_world(seed=seed, observe=True)
+    platform = FaaSPlatform(world.kernel, PlatformConfig(
+        nodes=2, storage_nodes=storage_nodes, replication_factor=2))
+    return world.kernel, platform
+
+
+def cold_start_spans(kernel, platform, function="markdown"):
+    platform.register_function(lambda: make_app(function),
+                               start_technique="prebake")
+    platform.invoke(function)
+    return [span.as_dict() for span in kernel.obs.tracer.spans]
+
+
+class TestCrossNodeStitching:
+    def test_cold_start_stitches_at_least_two_node_identities(self):
+        kernel, platform = sharded_platform()
+        spans = cold_start_spans(kernel, platform)
+        nodes = stitched_trace_nodes(spans)
+        assert len(nodes) >= 2, f"stitched only {nodes}"
+        # Both sides of the fleet appear: a compute placement and at
+        # least one storage node that served a remote chunk.
+        assert any(node.startswith("node-") for node in nodes)
+        assert any(node.startswith("store-") for node in nodes)
+
+    def test_remote_fetches_are_child_spans_of_the_restore_pass(self):
+        kernel, platform = sharded_platform()
+        spans = cold_start_spans(kernel, platform)
+        passes = [s for s in spans if s["name"] == "shard.restore-pass"]
+        fetches = [s for s in spans if s["name"] == "shard.fetch"]
+        assert passes and fetches
+        pass_ids = {s["span"] for s in passes}
+        assert all(f["parent"] in pass_ids for f in fetches)
+        # Every fetch names the storage node that served it, plus its
+        # retry-hop count.
+        for fetch in fetches:
+            assert str(fetch["attrs"]["node_id"]).startswith("store-")
+            assert fetch["attrs"]["hop"] >= 0
+
+    def test_provision_span_names_the_compute_node(self):
+        kernel, platform = sharded_platform()
+        spans = cold_start_spans(kernel, platform)
+        provisions = [s for s in spans
+                      if s["name"] == "deployer.provision"]
+        assert provisions
+        assert any(str(s["attrs"].get("node_id", "")).startswith("node-")
+                   for s in provisions)
+
+    def test_fetch_and_provision_share_one_trace(self):
+        kernel, platform = sharded_platform()
+        spans = cold_start_spans(kernel, platform)
+        provision_traces = {s["trace"] for s in spans
+                            if s["name"] == "deployer.provision"}
+        fetch_traces = {s["trace"] for s in spans
+                        if s["name"] == "shard.fetch"}
+        assert fetch_traces and fetch_traces <= provision_traces
+
+
+class TestStitchedTraceNodes:
+    def span(self, trace, span_id, parent=None, node=None):
+        attrs = {} if node is None else {"node_id": node}
+        return {"trace": trace, "span": span_id, "parent": parent,
+                "name": "s", "attrs": attrs}
+
+    def test_connected_multi_node_tree_qualifies(self):
+        spans = [
+            self.span("t1", 1, node="node-0"),
+            self.span("t1", 2, parent=1, node="store-1"),
+            self.span("t1", 3, parent=1, node="store-2"),
+        ]
+        assert stitched_trace_nodes(spans) == ["node-0", "store-1",
+                                               "store-2"]
+
+    def test_disconnected_trace_is_rejected(self):
+        spans = [
+            self.span("t1", 1, node="node-0"),
+            self.span("t1", 2, parent=99, node="store-1"),  # orphan
+        ]
+        assert stitched_trace_nodes(spans) == []
+
+    def test_unavailable_identity_does_not_count(self):
+        spans = [
+            self.span("t1", 1, node="node-0"),
+            self.span("t1", 2, parent=1, node="unavailable"),
+        ]
+        assert stitched_trace_nodes(spans) == ["node-0"]
+
+    def test_best_trace_wins(self):
+        spans = [
+            self.span("t1", 1, node="node-0"),
+            self.span("t2", 2, node="node-0"),
+            self.span("t2", 3, parent=2, node="store-0"),
+        ]
+        assert stitched_trace_nodes(spans) == ["node-0", "store-0"]
