@@ -241,6 +241,48 @@ def collect_fleet(repetitions: int, seed: int) -> Metrics:
     return metrics
 
 
+def collect_prewarm(repetitions: int, seed: int) -> Metrics:
+    """X13 prewarm study: forecast-driven prebaking vs fixed keep-alive.
+
+    Besides the learned policy's own cold-start metrics, two 0/1
+    structural verdicts are gated with direction HIGHER so any drop
+    from 1.0 trips immediately:
+
+    * ``prewarm/learned_beats_fixed`` — the learned policy cut both
+      cold-start count and cold p99 at no higher wasted warm-seconds
+      than the fixed keep-alive on every repetition;
+    * ``prewarm/oracle_bound`` — the clairvoyant oracle's cold-start
+      rate lower-bounds the learned policy's on every repetition.
+    """
+    from repro.bench.prewarm_study import prewarm_study
+
+    result = prewarm_study(repetitions=repetitions, seed=seed)
+    rep = result.headline
+    learned = rep.outcomes["learned"]
+    fixed = rep.outcomes["fixed"]
+    oracle = rep.outcomes["oracle"]
+    metrics: Metrics = {}
+    metrics["prewarm/learned_beats_fixed"] = scalar_metric(
+        1.0 if all(r.learned_beats_fixed for r in result.reps) else 0.0,
+        direction=HIGHER)
+    metrics["prewarm/oracle_bound"] = scalar_metric(
+        1.0 if all(r.oracle_bounds_gap for r in result.reps) else 0.0,
+        direction=HIGHER)
+    metrics["prewarm/requests_total"] = \
+        scalar_metric(float(learned.requests), direction=HIGHER)
+    metrics["prewarm/learned_cold_rate"] = \
+        scalar_metric(learned.cold_start_rate)
+    metrics["prewarm/learned_cold_p99_ms"] = \
+        scalar_metric(learned.cold_p99_ms)
+    metrics["prewarm/learned_wasted_warm_s"] = \
+        scalar_metric(learned.wasted_warm_s)
+    metrics["prewarm/fixed_cold_rate"] = scalar_metric(fixed.cold_start_rate)
+    metrics["prewarm/oracle_cold_rate"] = scalar_metric(oracle.cold_start_rate)
+    metrics["prewarm/learned_timer_cold_starts"] = \
+        scalar_metric(float(learned.timer_cold_starts))
+    return metrics
+
+
 @dataclass(frozen=True)
 class Bench:
     """One gated bench: a collector plus its smoke-sized defaults."""
@@ -261,6 +303,7 @@ BENCHES: Dict[str, Bench] = {
     "kernel-throughput": Bench("kernel-throughput", collect_kernel_throughput,
                                default_repetitions=3),
     "fleet": Bench("fleet", collect_fleet, default_repetitions=1),
+    "prewarm": Bench("prewarm", collect_prewarm, default_repetitions=1),
 }
 
 

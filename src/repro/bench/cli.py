@@ -213,7 +213,7 @@ def _run_fleet_study(args) -> str:
 
     result = fleet_study(
         repetitions=max(1, min(args.repetitions, 3)), seed=args.seed,
-        requests=args.requests, workers=args.workers)
+        requests=args.requests or 1_000_000, workers=args.workers)
     if args.fleet_out:
         with open(args.fleet_out, "w", encoding="utf-8") as handle:
             json.dump(result.as_dict(), handle, sort_keys=True)
@@ -246,6 +246,23 @@ def _run_fleet_report(args) -> str:
         log.info("fleet.flame_written", file=args.flame_out,
                  stacks=len(folded))
     return render_fleet_report(artifact)
+
+
+def _run_prewarm(args) -> str:
+    """X13: forecast-driven prewarming vs fixed keep-alive sweep."""
+    import json
+
+    from repro.bench.prewarm_study import prewarm_study
+
+    result = prewarm_study(
+        repetitions=max(1, min(args.repetitions, 3)), seed=args.seed,
+        requests=args.requests or 200_000, horizon=args.horizon)
+    if args.prewarm_out:
+        with open(args.prewarm_out, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, sort_keys=True)
+        log.info("prewarm.artifact_written", file=args.prewarm_out,
+                 reps=len(result.reps))
+    return result.render()
 
 
 def _run_kernel_bench(args) -> str:
@@ -287,6 +304,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "kernel-bench": _run_kernel_bench,
     "fleet-study": _run_fleet_study,
     "fleet-report": _run_fleet_report,
+    "prewarm": _run_prewarm,
 }
 
 
@@ -329,16 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write merged metrics JSONL "
                              "(profile experiment)")
-    parser.add_argument("--requests", type=int, default=1_000_000,
+    parser.add_argument("--requests", type=int, default=None,
                         metavar="N",
                         help="simulated requests per repetition "
-                             "(fleet-study experiment)")
+                             "(fleet-study default 1000000, prewarm "
+                             "default 200000)")
+    parser.add_argument("--horizon", type=int, default=64, metavar="N",
+                        help="forecast lag-window length for the learned "
+                             "policy (prewarm experiment)")
     parser.add_argument("--fleet-out", default=None, metavar="PATH",
                         help="write the fleet-study artifact JSON "
                              "(fleet-study experiment)")
     parser.add_argument("--fleet-in", default=None, metavar="PATH",
                         help="recorded fleet artifact to render "
                              "(fleet-report experiment)")
+    parser.add_argument("--prewarm-out", default=None, metavar="PATH",
+                        help="write the prewarm-study artifact JSON "
+                             "(prewarm experiment)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     return parser
@@ -360,8 +385,12 @@ def validate_args(args) -> str | None:
         return f"--workers must be a positive integer, got {args.workers}"
     if args.events is not None and args.events < 1:
         return f"--events must be a positive integer, got {args.events}"
-    if args.requests < 1:
+    if args.requests is not None and args.requests < 1:
         return f"--requests must be a positive integer, got {args.requests}"
+    if args.horizon < 2:
+        return (f"--horizon must be a positive integer >= 2 "
+                f"(the forecaster needs at least two lag windows), "
+                f"got {args.horizon}")
     if args.experiment == "fleet-report" and not args.fleet_in:
         return "fleet-report requires --fleet-in PATH (a recorded artifact)"
     return None

@@ -51,6 +51,8 @@ class CacheStats:
     miss_bytes: int = 0
     evictions: int = 0
     admission_rejects: int = 0
+    prefetches: int = 0
+    prefetch_bytes: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -118,6 +120,31 @@ class HotChunkCache:
         self.stats.miss_bytes += size_bytes
         self._admit(chunk_id, size_bytes, freq)
         return False
+
+    def prefetch(self, chunk_id: str, size_bytes: int) -> bool:
+        """Warm-path admission without miss accounting.
+
+        Predictive prefetch pushes a chunk the policy *expects* to be
+        needed; it is not a restore-time access, so it must not skew
+        the hit/miss effectiveness counters. The frequency estimate
+        still bumps (a prefetched chunk is evidence of heat) and the
+        normal admission policy applies. Returns True when the chunk
+        is resident afterwards (already present counts as success).
+        """
+        self._tick += 1
+        freq = self._freq.get(chunk_id, 0) + 1
+        self._freq[chunk_id] = freq
+        if len(self._freq) > _MAX_GHOST_ENTRIES:
+            self._trim_ghosts()
+        if chunk_id in self._resident:
+            self._resident[chunk_id] = (size_bytes, self._tick)
+            return True
+        self._admit(chunk_id, size_bytes, freq)
+        admitted = chunk_id in self._resident
+        if admitted:
+            self.stats.prefetches += 1
+            self.stats.prefetch_bytes += size_bytes
+        return admitted
 
     # -- policy internals ----------------------------------------------------
 

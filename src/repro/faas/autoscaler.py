@@ -6,19 +6,34 @@ Prometheus-alert-driven scale-up OpenFaaS implements (§5.1). The
 policy here is deliberately simple — target concurrency with idle
 timeout — because the paper's contribution is *how fast* a scale-up
 replica starts, not the scaling policy itself.
+
+Two predictive extensions sit on top (ROADMAP item 2), both off by
+default:
+
+* an optional :class:`~repro.predict.policy.PrewarmController` adds a
+  ``prewarm`` action — budget-capped pre-placement of replicas ahead
+  of forecast bursts, boosted when the cold-start SLO burn rate
+  crosses its threshold — and lets the forecaster's histogram choose
+  per-function keep-alive instead of the fixed idle timeout;
+* wasted warm-seconds accounting: every idle-GC'd replica contributes
+  its terminal idle stretch to ``autoscaler_wasted_warm_ms_total``,
+  the cost-side metric X13 reports next to the cold-start wins.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Deque, Dict, Optional
 
 from repro import obs
 from repro.faas.deployer import FunctionDeployer
 from repro.faas.registry import FunctionRegistry
 from repro.faas.replica import ReplicaState
 from repro.faults.errors import CapacityExhausted
+from repro.obs.slo import COLD_START_P99
 from repro.osproc.kernel import Kernel
+from repro.predict.policy import PrewarmController
 
 
 @dataclass(frozen=True)
@@ -28,6 +43,10 @@ class AutoscalerConfig:
     idle_timeout_ms: float = 60_000.0
     min_replicas: int = 0
     max_replicas: int = 16
+    # Scale events kept for observability; older ones fall off the ring
+    # (mirroring the flight-recorder idiom) instead of growing without
+    # bound across a fleet-scale run.
+    event_capacity: int = 1024
 
 
 @dataclass
@@ -36,12 +55,12 @@ class ScaleEvent:
 
     at_ms: float
     function: str
-    action: str      # "scale-up" | "gc" | "reap" | "heal"
+    action: str      # "scale-up" | "gc" | "reap" | "heal" | "prewarm"
     replicas_after: int
 
 
 class Autoscaler:
-    """Idle-GC plus demand-driven scale-up."""
+    """Idle-GC plus demand-driven scale-up (plus optional prewarm)."""
 
     def __init__(
         self,
@@ -49,12 +68,37 @@ class Autoscaler:
         registry: FunctionRegistry,
         deployer: FunctionDeployer,
         config: AutoscalerConfig = AutoscalerConfig(),
+        prewarm: Optional[PrewarmController] = None,
     ) -> None:
         self.kernel = kernel
         self.registry = registry
         self.deployer = deployer
         self.config = config
-        self.events: List[ScaleEvent] = []
+        self.prewarm = prewarm
+        self.events: Deque[ScaleEvent] = deque(
+            maxlen=max(1, config.event_capacity))
+        self.events_dropped = 0
+        self.wasted_warm_ms: Dict[str, float] = {}
+
+    def _record_event(self, function: str, action: str,
+                      replicas_after: int, at_ms: float) -> None:
+        if len(self.events) == self.events.maxlen:
+            self.events_dropped += 1
+            obs.count(self.kernel, "autoscaler_events_dropped_total")
+        self.events.append(ScaleEvent(
+            at_ms=at_ms, function=function, action=action,
+            replicas_after=replicas_after,
+        ))
+        obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
+                   function=function, action=action,
+                   replicas_after=replicas_after)
+        obs.count(self.kernel, "autoscaler_actions_total",
+                  labels={"function": function, "action": action})
+
+    def note_arrival(self, function: str) -> None:
+        """Feed one arrival to the prewarm forecaster (no-op when off)."""
+        if self.prewarm is not None:
+            self.prewarm.note_arrival(function, self.kernel.clock.now)
 
     def tick(self) -> None:
         """Run one reconciliation pass over every registered function.
@@ -62,27 +106,23 @@ class Autoscaler:
         Order matters: reap crashed replicas first (freeing node
         memory), then heal back up to ``min_replicas``, then GC idle
         excess — so a crash storm converges to the configured floor
-        instead of oscillating.
+        instead of oscillating. The prewarm pass runs last, against
+        the post-GC pool, so forecast targets see the capacity that
+        actually survived this tick.
         """
         now = self.kernel.clock.now
         for name in self.registry.names():
             self._reap_crashed(name, now)
             self._heal_to_min(name)
             self._gc_idle(name, now)
+        if self.prewarm is not None:
+            self._prewarm_pass(now)
 
     def _reap_crashed(self, function: str, now: float) -> None:
         reaped = self.deployer.health_check(function)
         for _ in reaped:
             remaining = len(self.deployer.replicas(function))
-            self.events.append(ScaleEvent(
-                at_ms=now, function=function, action="reap",
-                replicas_after=remaining,
-            ))
-            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
-                       function=function, action="reap",
-                       replicas_after=remaining)
-            obs.count(self.kernel, "autoscaler_actions_total",
-                      labels={"function": function, "action": "reap"})
+            self._record_event(function, "reap", remaining, now)
 
     def _heal_to_min(self, function: str) -> None:
         """Re-provision up to the configured replica floor."""
@@ -96,38 +136,67 @@ class Autoscaler:
             except CapacityExhausted:
                 break
             remaining = len(self.deployer.replicas(function))
-            self.events.append(ScaleEvent(
-                at_ms=self.kernel.clock.now, function=function, action="heal",
-                replicas_after=remaining,
-            ))
-            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
-                       function=function, action="heal",
-                       replicas_after=remaining)
-            obs.count(self.kernel, "autoscaler_actions_total",
-                      labels={"function": function, "action": "heal"})
+            self._record_event(function, "heal", remaining,
+                               self.kernel.clock.now)
 
     def _gc_idle(self, function: str, now: float) -> None:
         metadata = self.registry.lookup(function)
         timeout = min(self.config.idle_timeout_ms, metadata.idle_timeout_ms)
+        if self.prewarm is not None:
+            timeout = self.prewarm.keepalive_ms(function, timeout)
         replicas = self.deployer.replicas(function)
         keep = max(self.config.min_replicas, 0)
         for replica in replicas:
             if len(self.deployer.replicas(function)) <= keep:
                 break
             if replica.state is ReplicaState.IDLE and replica.idle_for_ms(now) >= timeout:
+                idle_ms = replica.idle_for_ms(now)
+                self.wasted_warm_ms[function] = (
+                    self.wasted_warm_ms.get(function, 0.0) + idle_ms)
+                obs.count(self.kernel, "autoscaler_wasted_warm_ms_total",
+                          idle_ms, labels={"function": function})
                 replica.terminate()
                 remaining = len(self.deployer.replicas(function))
-                self.events.append(ScaleEvent(
-                    at_ms=now, function=function, action="gc",
-                    replicas_after=remaining,
-                ))
-                obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
-                           function=function, action="gc",
-                           replicas_after=remaining)
-                obs.count(self.kernel, "autoscaler_actions_total",
-                          labels={"function": function, "action": "gc"})
+                self._record_event(function, "gc", remaining, now)
                 obs.gauge(self.kernel, "autoscaler_replicas", remaining,
                           labels={"function": function})
+
+    def _prewarm_pass(self, now: float) -> None:
+        """Pre-place replicas and prefetch chunks ahead of forecast load."""
+        assert self.prewarm is not None
+        hub = self.kernel.obs
+        burn = (COLD_START_P99.burn_rate(hub.metrics)
+                if hub is not None else None)
+        current_warm = {
+            name: len(self.deployer.replicas(name))
+            for name in self.registry.names()
+        }
+        actions = self.prewarm.plan(now, current_warm, burn_rate=burn)
+        for action in actions:
+            try:
+                metadata = self.registry.lookup(action.function)
+            except KeyError:
+                continue
+            limit = min(self.config.max_replicas, metadata.max_replicas)
+            for _ in range(action.add_replicas):
+                if len(self.deployer.replicas(action.function)) >= limit:
+                    break
+                try:
+                    with obs.span(self.kernel, "autoscaler.prewarm",
+                                  function=action.function,
+                                  forecast=action.forecast):
+                        self.deployer.provision(action.function)
+                except CapacityExhausted:
+                    break
+                remaining = len(self.deployer.replicas(action.function))
+                self._record_event(action.function, "prewarm", remaining,
+                                   self.kernel.clock.now)
+                obs.gauge(self.kernel, "autoscaler_replicas", remaining,
+                          labels={"function": action.function})
+            if action.prefetch:
+                self.deployer.prefetch_function(
+                    action.function,
+                    budget_bytes=self.prewarm.config.prefetch_budget_bytes)
 
     def ensure_capacity(self, function: str, pending_requests: int) -> int:
         """Scale up so ``pending_requests`` can be served concurrently.
@@ -145,15 +214,8 @@ class Autoscaler:
                           function=function, pending=pending_requests):
                 self.deployer.provision(function)
             added += 1
-            self.events.append(ScaleEvent(
-                at_ms=self.kernel.clock.now, function=function, action="scale-up",
-                replicas_after=current + added,
-            ))
-            obs.record(self.kernel, obs.flight.AUTOSCALER_ACTION,
-                       function=function, action="scale-up",
-                       replicas_after=current + added)
-            obs.count(self.kernel, "autoscaler_actions_total",
-                      labels={"function": function, "action": "scale-up"})
+            self._record_event(function, "scale-up", current + added,
+                               self.kernel.clock.now)
             obs.gauge(self.kernel, "autoscaler_replicas", current + added,
                       labels={"function": function})
         return added

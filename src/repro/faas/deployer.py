@@ -17,6 +17,7 @@ from repro.faas.registry import FunctionMetadata, FunctionRegistry
 from repro.faas.replica import FunctionReplica, ReplicaState
 from repro.faas.resources import ResourceManager
 from repro.faults.errors import CapacityExhausted
+from repro.obs.fleet import SpaceSavingSketch
 from repro.osproc.cgroups import CgroupManager
 from repro.osproc.kernel import Kernel
 
@@ -50,6 +51,11 @@ class FunctionDeployer:
         # Eviction count already exported per node, so the counter
         # below emits deltas rather than re-counting the total.
         self._evictions_exported: Dict[str, int] = {}
+        # Cross-function chunk-heat ranking (Space-Saving heavy
+        # hitters over every layer pull): predictive prefetch pushes
+        # a function's hottest chunks first, so a tight budget still
+        # lands the bytes most likely to be re-read.
+        self.chunk_sketch = SpaceSavingSketch(capacity=512)
 
     # -- provisioning --------------------------------------------------------------
 
@@ -254,6 +260,7 @@ class FunctionDeployer:
         cache = self.node_cache(node_name)
         pulled = cached = 0
         for ref in layered.chunk_refs:
+            self.chunk_sketch.offer(ref.chunk_id)
             if cache.lookup(ref.chunk_id, ref.size_bytes):
                 cached += ref.size_bytes
             else:
@@ -275,6 +282,68 @@ class FunctionDeployer:
             obs.count(self.kernel, "deployer_node_cache_eviction_total",
                       value=float(delta), labels={"node": node_name})
         self._evictions_exported[node_name] = evictions
+
+    def prefetch_function(self, function: str,
+                          node_name: Optional[str] = None,
+                          budget_bytes: Optional[int] = None) -> int:
+        """Push a function's hot working-set chunks into a node cache.
+
+        The predictive prewarm path: when the forecaster expects a
+        burst, pre-placing the image's chunks means even a mispredicted
+        replica count still lands on a warm cache — the restore pays
+        node-local reads instead of registry fetches. Chunks are
+        ranked by the deployer-wide Space-Saving heat sketch (hottest
+        first, chunk id as the deterministic tie-break) and admitted
+        through the cache's normal policy under ``budget_bytes``.
+
+        Returns the number of bytes newly admitted. No-op (0) for
+        non-prebake functions, functions without a cache policy, and
+        clusters with no nodes.
+        """
+        metadata = self.registry.lookup(function)
+        if metadata.start_technique != "prebake":
+            return 0
+        layered = self.prebake_manager.store.layered(
+            self._snapshot_key(metadata))
+        if layered is None or not layered.chunk_refs:
+            return 0
+        if node_name is None:
+            node_name = self._locality_hint(metadata)
+        if node_name is None:
+            if not self.resources.nodes:
+                return 0
+            node_name = self.resources.nodes[0].name
+        cache = self._restore_cache(node_name, metadata)
+        if cache is None:
+            return 0
+        heat = {key: count
+                for key, count, _ in self.chunk_sketch.top(512)}
+        ranked = sorted(
+            layered.chunk_refs,
+            key=lambda ref: (-heat.get(ref.chunk_id, 0.0), ref.chunk_id))
+        budget = (budget_bytes if budget_bytes is not None
+                  else cache.capacity_bytes)
+        admitted_bytes = 0
+        admitted_chunks = 0
+        for ref in ranked:
+            if cache.contains(ref.chunk_id):
+                continue
+            if admitted_bytes + ref.size_bytes > budget:
+                continue
+            if cache.prefetch(ref.chunk_id, ref.size_bytes):
+                admitted_bytes += ref.size_bytes
+                admitted_chunks += 1
+        if admitted_chunks:
+            obs.record(self.kernel, obs.flight.PREWARM_PREFETCH,
+                       function=function, node=node_name,
+                       chunks=admitted_chunks, bytes=admitted_bytes)
+            obs.count(self.kernel, "deployer_prefetch_bytes_total",
+                      value=float(admitted_bytes),
+                      labels={"function": function})
+            obs.count(self.kernel, "deployer_prefetch_chunks_total",
+                      value=float(admitted_chunks),
+                      labels={"function": function})
+        return admitted_bytes
 
     # -- bookkeeping -----------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.faas.resources import ComputeNode, ResourceManager
 from repro.faas.router import FunctionRouter
 from repro.functions.base import FunctionApp
 from repro.osproc.kernel import Kernel
+from repro.predict.policy import PrewarmConfig, PrewarmController
 from repro.runtime.base import Request, Response
 
 
@@ -46,6 +47,11 @@ class PlatformConfig:
     storage_virtual_nodes: int = 64
     storage_breaker_threshold: int = 3
     storage_breaker_reset_ms: float = 2_000.0
+    # Predictive prewarming (ROADMAP item 2): None keeps the purely
+    # reactive autoscaler — the default, byte-identical to every
+    # committed baseline. A PrewarmConfig installs the forecast-driven
+    # prewarm/prefetch layer (repro.predict) on the autoscaler tick.
+    prewarm: Optional[PrewarmConfig] = None
 
 
 class FaaSPlatform:
@@ -85,8 +91,11 @@ class FaaSPlatform:
             request_timeout_ms=config.request_timeout_ms,
             max_crash_retries=config.max_crash_retries,
         )
+        self.prewarm = (PrewarmController(config.prewarm)
+                        if config.prewarm is not None else None)
         self.autoscaler = Autoscaler(
-            kernel, self.registry, self.deployer, config.autoscaler
+            kernel, self.registry, self.deployer, config.autoscaler,
+            prewarm=self.prewarm,
         )
 
     # -- function lifecycle ---------------------------------------------------------
@@ -99,6 +108,7 @@ class FaaSPlatform:
         restore_mode: RestoreMode = RestoreMode.EAGER,
         max_replicas: int = 16,
         idle_timeout_ms: float = 60_000.0,
+        cache_policy: Optional[str] = None,
     ) -> FunctionMetadata:
         """Register (a new version of) a function and build it."""
         if start_technique not in ("vanilla", "prebake"):
@@ -117,6 +127,7 @@ class FaaSPlatform:
             restore_mode=restore_mode,
             max_replicas=max_replicas,
             idle_timeout_ms=idle_timeout_ms,
+            cache_policy=cache_policy,
         )
         self.build(metadata)
         # Keep the PrebakeManager's version counter in sync so the
@@ -152,6 +163,9 @@ class FaaSPlatform:
 
     def invoke(self, function: str, request: Optional[Request] = None) -> Response:
         """Route one request (cold-starting a replica if needed)."""
+        # Feed the prewarm forecaster (a no-op, not even a clock read,
+        # when prediction is off — the default).
+        self.autoscaler.note_arrival(function)
         return self.router.route(function, request)
 
     def scale(self, function: str, replicas: int) -> None:

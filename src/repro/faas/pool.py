@@ -35,7 +35,8 @@ class PoolStats:
     hits: int = 0
     misses: int = 0
     refills: int = 0
-    idle_mib_ms: float = 0.0   # memory-time integral of idle instances
+    idle_mib_ms: float = 0.0     # memory-time integral of idle instances
+    wasted_warm_ms: float = 0.0  # wall-time integral of idle instances
 
     @property
     def hit_rate(self) -> float:
@@ -90,8 +91,22 @@ class WarmPool:
 
     def _pop_idle(self) -> ReplicaHandle:
         handle, since = self._idle.pop()
-        self.stats.idle_mib_ms += (self.kernel.clock.now - since) * handle.process.rss_mib
+        idle_ms = self.kernel.clock.now - since
+        self.stats.idle_mib_ms += idle_ms * handle.process.rss_mib
+        self._accrue_wasted(idle_ms)
         return handle
+
+    def _accrue_wasted(self, idle_ms: float) -> None:
+        """Wasted warm-seconds: idle wall-time a warm replica held.
+
+        The cost axis the prewarm study (X13) reports next to the
+        cold-start wins — a policy only counts as better when it cuts
+        cold starts *without* holding more idle warm time.
+        """
+        if idle_ms <= 0:
+            return
+        self.stats.wasted_warm_ms += idle_ms
+        obs.count(self.kernel, "pool_wasted_warm_ms_total", idle_ms)
 
     def health_check(self, refill: bool = False) -> int:
         """Drop idle replicas whose process died; optionally refill.
@@ -108,6 +123,7 @@ class WarmPool:
                 alive.append((handle, since))
             else:
                 self.stats.idle_mib_ms += (now - since) * handle.process.rss_mib
+                self._accrue_wasted(now - since)
                 reaped += 1
         self._idle = alive
         if reaped:
@@ -128,6 +144,7 @@ class WarmPool:
             handle, since = self._idle.pop()
             self.stats.idle_mib_ms += ((self.kernel.clock.now - since)
                                        * handle.process.rss_mib)
+            self._accrue_wasted(self.kernel.clock.now - since)
             obs.count(self.kernel, "pool_reaped_total")
         if self._idle:
             self.stats.hits += 1
@@ -188,6 +205,7 @@ class WarmPool:
         flushed = []
         for handle, since in self._idle:
             self.stats.idle_mib_ms += (now - since) * handle.process.rss_mib
+            self._accrue_wasted(now - since)
             flushed.append((handle, now))
         self._idle = flushed
         return self.stats.idle_mib_ms

@@ -1,0 +1,261 @@
+"""Arrival forecasters: inter-arrival histogram, EWMA, attention model.
+
+Three estimators at increasing sophistication, all deterministic:
+
+* :class:`InterArrivalHistogram` — log2-bucketed gap histogram per
+  function.  Its quantiles choose keep-alive windows the way the
+  Serverless-in-the-Wild hybrid policy does: keep a replica warm for
+  the gap length that covers the q-th fraction of observed gaps.
+* :class:`EwmaForecaster` — exponentially weighted moving average of
+  per-window arrival counts; the cheap rate estimate the histogram
+  policy pre-provisions against.
+* :class:`AttentionForecaster` — a small numpy-only attention/feature
+  sequence model (transformer-inspired, per the PAPERS.md cold-start
+  forecasting line of work).  Fixed seeded projections map a lag
+  window of count features to keys/values, softmax attention pools
+  them into a context vector, and an online normalized-LMS readout
+  predicts the next window's arrival count.  No new dependencies, no
+  wall-clock or unseeded randomness: for a fixed seed the model is
+  bit-deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.sim.rng import _derive_seed
+
+#: Number of log2 gap buckets: bucket i covers [2**i, 2**(i+1)) ms,
+#: bucket 0 additionally absorbs sub-millisecond gaps.  2**48 ms is
+#: ~9000 years — an open upper bound in practice.
+_GAP_BUCKETS = 48
+
+
+class InterArrivalHistogram:
+    """Log2-bucketed histogram of per-function inter-arrival gaps.
+
+    ``quantile(q)`` returns the upper edge of the first bucket whose
+    cumulative count reaches ``q`` — a conservative keep-alive choice:
+    at least a ``q`` fraction of observed gaps are covered by keeping
+    a replica warm that long.  ``rate_per_ms`` is the exact inverse
+    mean gap (sample totals are kept alongside the buckets), which
+    converges to the true arrival rate on stationary streams.
+    """
+
+    __slots__ = ("_counts", "_total", "_gap_sum", "_recent")
+
+    #: Exact-gap reservoir size: enough recent gaps for stable edge
+    #: quantiles without unbounded growth.
+    RECENT_GAPS = 64
+
+    def __init__(self) -> None:
+        self._counts = [0] * _GAP_BUCKETS
+        self._total = 0
+        self._gap_sum = 0.0
+        self._recent: Deque[float] = deque(maxlen=self.RECENT_GAPS)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def note_gap(self, gap_ms: float) -> None:
+        if gap_ms < 0.0 or not math.isfinite(gap_ms):
+            return
+        index = 0 if gap_ms < 1.0 else int(math.log2(gap_ms))
+        index = min(index, _GAP_BUCKETS - 1)
+        self._counts[index] += 1
+        self._total += 1
+        self._gap_sum += gap_ms
+        self._recent.append(gap_ms)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper gap edge covering at least a ``q`` fraction of gaps."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self._total == 0:
+            return None
+        need = q * self._total
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= need:
+                return float(2 ** (index + 1))
+        return float(2 ** _GAP_BUCKETS)
+
+    def exact_quantile(self, q: float) -> Optional[float]:
+        """Quantile over the exact recent-gap reservoir.
+
+        Log2 buckets are the right cost/precision trade for keep-alive
+        (factor-2 resolution), but prewarm *scheduling* — placing a
+        replica shortly before a timer-triggered function's next
+        predicted arrival — needs real edges, so the last
+        ``RECENT_GAPS`` gaps are kept exactly.
+        """
+        if not self._recent:
+            return None
+        return float(np.quantile(np.asarray(self._recent), q))
+
+    def rate_per_ms(self) -> Optional[float]:
+        """Exact sample arrival rate (gaps per ms of observed gap time)."""
+        if self._total == 0 or self._gap_sum <= 0.0:
+            return None
+        return self._total / self._gap_sum
+
+    def keepalive_ms(self, q: float, floor_ms: float, cap_ms: float) -> float:
+        """Histogram-chosen keep-alive, clamped to [floor, cap]."""
+        edge = self.quantile(q)
+        if edge is None:
+            return floor_ms
+        return min(max(edge, floor_ms), cap_ms)
+
+
+class EwmaForecaster:
+    """EWMA of per-window arrival counts.
+
+    ``observe(count)`` folds in one completed window; ``forecast()``
+    predicts the next window's count.  On a stationary Poisson stream
+    the estimate converges to the true per-window rate (steady-state
+    standard error ``sqrt(alpha / (2 - alpha)) * sqrt(rate)``).
+    """
+
+    __slots__ = ("alpha", "_value", "_seen")
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._seen = 0
+
+    @property
+    def windows_seen(self) -> int:
+        return self._seen
+
+    def observe(self, count: float) -> None:
+        if count < 0.0 or not math.isfinite(count):
+            return
+        if self._seen == 0:
+            self._value = float(count)
+        else:
+            self._value += self.alpha * (float(count) - self._value)
+        self._seen += 1
+
+    def forecast(self) -> float:
+        return self._value if self._seen else 0.0
+
+
+class AttentionForecaster:
+    """Numpy-only attention model predicting next-window arrival counts.
+
+    Architecture (all float64, all seeded):
+
+    * each of the last ``horizon`` windows becomes a feature vector
+      ``[log1p(count), count/(1+ewma), sin(age), cos(age), 1]``;
+    * fixed projections ``Wq/Wk/Wv`` (drawn once from a PCG64 stream
+      derived from ``seed``) map features to a query (latest window),
+      keys, and values;
+    * scaled-dot softmax attention pools the values into a context
+      vector;
+    * the readout ``w . [context, log1p(last), ewma, 1]`` is trained
+      online with normalized LMS against each realized count.
+
+    The readout starts as the pure-EWMA predictor, so the model is
+    never worse than EWMA before training kicks in and the attention
+    terms only earn weight when they reduce error — e.g. by noticing
+    burst onsets (last-window spike) or periodic structure that a
+    single decayed average smears away.
+    """
+
+    __slots__ = ("horizon", "d_model", "lr", "_wq", "_wk", "_wv", "_w",
+                 "_counts", "_ewma", "_last_phi", "_last_pred")
+
+    _FEATURES = 5
+
+    def __init__(self, horizon: int = 64, d_model: int = 16,
+                 lr: float = 0.2, ewma_alpha: float = 0.25,
+                 seed: int = 0) -> None:
+        if horizon < 2:
+            raise ValueError(f"horizon must be >= 2, got {horizon}")
+        if d_model < 1:
+            raise ValueError(f"d_model must be >= 1, got {d_model}")
+        self.horizon = int(horizon)
+        self.d_model = int(d_model)
+        self.lr = float(lr)
+        rng = np.random.Generator(np.random.PCG64(
+            _derive_seed(seed, "attention-forecaster")))
+        scale = 1.0 / math.sqrt(self._FEATURES)
+        self._wq = rng.normal(0.0, scale, (self._FEATURES, d_model))
+        self._wk = rng.normal(0.0, scale, (self._FEATURES, d_model))
+        self._wv = rng.normal(0.0, scale, (self._FEATURES, d_model))
+        # Readout over [context (d_model), log1p(last), ewma, 1]; start
+        # as the EWMA predictor so the untrained model is sane.
+        self._w = np.zeros(d_model + 3, dtype=np.float64)
+        self._w[d_model + 1] = 1.0
+        self._counts: Deque[float] = deque(maxlen=self.horizon)
+        self._ewma = EwmaForecaster(alpha=ewma_alpha)
+        self._last_phi: Optional[np.ndarray] = None
+        self._last_pred = 0.0
+
+    @property
+    def windows_seen(self) -> int:
+        return self._ewma.windows_seen
+
+    def _features(self) -> np.ndarray:
+        """Lag-window feature matrix, oldest first."""
+        counts = np.asarray(self._counts, dtype=np.float64)
+        n = counts.size
+        ewma = self._ewma.forecast()
+        ages = np.arange(n - 1, -1, -1, dtype=np.float64)  # 0 == latest
+        angle = 2.0 * np.pi * ages / self.horizon
+        feats = np.empty((n, self._FEATURES), dtype=np.float64)
+        feats[:, 0] = np.log1p(counts)
+        feats[:, 1] = counts / (1.0 + ewma)
+        feats[:, 2] = np.sin(angle)
+        feats[:, 3] = np.cos(angle)
+        feats[:, 4] = 1.0
+        return feats
+
+    def observe(self, count: float) -> None:
+        """Fold in one completed window and train on the last forecast."""
+        if count < 0.0 or not math.isfinite(count):
+            return
+        count = float(count)
+        if self._last_phi is not None:
+            # Normalized LMS: step size is scale-free in ||phi||.
+            error = count - self._last_pred
+            phi = self._last_phi
+            self._w += self.lr * error * phi / (1.0 + phi @ phi)
+        self._counts.append(count)
+        self._ewma.observe(count)
+        self._last_phi = self._readout_features()
+        self._last_pred = float(self._w @ self._last_phi)
+
+    def _readout_features(self) -> np.ndarray:
+        feats = self._features()
+        query = feats[-1] @ self._wq
+        keys = feats @ self._wk
+        values = feats @ self._wv
+        scores = keys @ query / math.sqrt(self.d_model)
+        scores -= scores.max()
+        weights = np.exp(scores)
+        weights /= weights.sum()
+        context = weights @ values
+        last = self._counts[-1]
+        return np.concatenate([
+            context,
+            [math.log1p(last), self._ewma.forecast(), 1.0],
+        ])
+
+    def forecast(self) -> float:
+        """Predicted arrival count for the next window (clipped at 0)."""
+        if not self._counts:
+            return 0.0
+        return max(0.0, self._last_pred)
+
+    def state_digest(self) -> List[float]:
+        """Readout weights as a plain list (for determinism tests)."""
+        return [float(v) for v in self._w]

@@ -1,0 +1,158 @@
+"""Autoscaler prewarm integration: events ring, waste accounting,
+forecast-driven pre-placement, and chunk prefetch."""
+
+import pytest
+
+from repro import make_world
+from repro.faas.autoscaler import AutoscalerConfig
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.functions.base import make_app
+from repro.predict.policy import PrewarmConfig
+
+
+def _platform(kernel, **kwargs) -> FaaSPlatform:
+    return FaaSPlatform(kernel, PlatformConfig(**kwargs))
+
+
+class TestEventRing:
+    def test_events_ring_is_bounded_and_counts_drops(self):
+        world = make_world(seed=3, observe=True)
+        platform = _platform(
+            world.kernel, autoscaler=AutoscalerConfig(event_capacity=8))
+        platform.register_function(lambda: make_app("markdown"))
+        scaler = platform.autoscaler
+        # Far more scale events than the ring holds.
+        for i in range(2, 14):
+            platform.scale("markdown", i % 4 + 1)
+            for replica in platform.deployer.replicas("markdown"):
+                replica.terminate()
+        assert len(scaler.events) <= 8
+        assert scaler.events_dropped > 0
+        # The ring keeps the *newest* events.
+        assert scaler.events[-1].at_ms >= scaler.events[0].at_ms
+
+    def test_dropped_counter_starts_at_zero(self):
+        world = make_world(seed=4, observe=True)
+        platform = _platform(world.kernel)
+        assert platform.autoscaler.events_dropped == 0
+
+
+class TestWasteAccounting:
+    def test_idle_gc_accrues_wasted_warm_ms(self):
+        world = make_world(seed=5, observe=True)
+        platform = _platform(world.kernel)
+        platform.register_function(lambda: make_app("markdown"),
+                                   idle_timeout_ms=1_000.0)
+        platform.invoke("markdown")
+        world.kernel.clock.advance(5_000.0)
+        platform.gc_tick()
+        scaler = platform.autoscaler
+        assert platform.replica_count("markdown") == 0
+        assert scaler.wasted_warm_ms.get("markdown", 0.0) >= 5_000.0
+        gc_events = [e for e in scaler.events if e.action == "gc"]
+        assert gc_events
+
+    def test_no_waste_accrued_while_replicas_stay_busy(self):
+        world = make_world(seed=6, observe=True)
+        platform = _platform(world.kernel)
+        platform.register_function(lambda: make_app("markdown"),
+                                   idle_timeout_ms=60_000.0)
+        platform.invoke("markdown")
+        platform.gc_tick()
+        assert platform.autoscaler.wasted_warm_ms.get("markdown", 0.0) == 0.0
+
+
+class TestPrewarmPass:
+    def _warm_platform(self, seed=7):
+        world = make_world(seed=seed, observe=True)
+        platform = _platform(world.kernel, prewarm=PrewarmConfig(
+            policy="learned", window_ms=200.0, service_ms_hint=500.0))
+        platform.register_function(lambda: make_app("markdown"),
+                                   start_technique="prebake",
+                                   cache_policy="freq-over-size")
+        for _ in range(60):
+            platform.invoke("markdown")
+            world.kernel.clock.advance(40.0)
+            platform.gc_tick()
+        return world, platform
+
+    def test_default_platform_has_no_prewarm_layer(self):
+        world = make_world(seed=8, observe=True)
+        platform = _platform(world.kernel)
+        assert platform.prewarm is None
+        platform.register_function(lambda: make_app("markdown"))
+        platform.invoke("markdown")      # note_arrival must be a no-op
+        platform.gc_tick()
+
+    def test_forecast_drives_prewarm_provisioning(self):
+        _, platform = self._warm_platform()
+        stats = platform.prewarm.stats
+        assert stats.plans > 0
+        assert stats.windows_fed > 0
+        assert stats.prewarm_replicas > 0
+        prewarm_events = [e for e in platform.autoscaler.events
+                          if e.action == "prewarm"]
+        assert len(prewarm_events) > 0
+        # Pre-placed capacity is real, live replicas.
+        assert platform.replica_count("markdown") > 1
+
+    def test_prewarm_respects_max_replica_limits(self):
+        world = make_world(seed=9, observe=True)
+        platform = _platform(
+            world.kernel,
+            autoscaler=AutoscalerConfig(max_replicas=2),
+            prewarm=PrewarmConfig(policy="histogram", window_ms=200.0,
+                                  service_ms_hint=500.0,
+                                  max_warm_per_function=8))
+        platform.register_function(lambda: make_app("markdown"))
+        for _ in range(60):
+            platform.invoke("markdown")
+            world.kernel.clock.advance(40.0)
+            platform.gc_tick()
+        assert platform.replica_count("markdown") <= 2
+
+    def test_prewarm_plans_request_prefetch(self):
+        _, platform = self._warm_platform(seed=10)
+        assert platform.prewarm.stats.prefetch_requests > 0
+
+    def test_prefetch_warms_the_node_cache_before_first_restore(self):
+        world = make_world(seed=13, observe=True)
+        platform = _platform(world.kernel)
+        platform.register_function(lambda: make_app("markdown"),
+                                   start_technique="prebake",
+                                   cache_policy="freq-over-size")
+        # No replica has restored yet, so the node cache is cold and
+        # the predicted working set actually gets admitted.
+        admitted = platform.deployer.prefetch_function("markdown")
+        assert admitted > 0
+        caches = platform.deployer._node_chunk_cache
+        assert any(cache.stats.prefetches > 0 for cache in caches.values())
+        # Prefetch is idempotent: a second pass finds everything
+        # resident and admits nothing new.
+        assert platform.deployer.prefetch_function("markdown") == 0
+
+    def test_prefetch_function_is_a_noop_for_vanilla(self):
+        world = make_world(seed=11, observe=True)
+        platform = _platform(world.kernel)
+        platform.register_function(lambda: make_app("markdown"),
+                                   start_technique="vanilla")
+        assert platform.deployer.prefetch_function("markdown") == 0
+
+
+class TestKeepAliveOverride:
+    def test_policy_keepalive_replaces_fixed_timeout(self):
+        world = make_world(seed=12, observe=True)
+        platform = _platform(world.kernel, prewarm=PrewarmConfig(
+            policy="histogram", window_ms=200.0,
+            keepalive_floor_ms=100.0, keepalive_cap_ms=500.0))
+        platform.register_function(lambda: make_app("markdown"),
+                                   idle_timeout_ms=60_000.0)
+        # Long, regular gaps: the histogram's scale-to-zero fast path
+        # collapses keep-alive to the floor, far below the fixed
+        # timeout, so the idle replica is GC'd almost immediately.
+        for _ in range(12):
+            platform.invoke("markdown")
+            world.kernel.clock.advance(2_000.0)
+        platform.gc_tick()
+        assert platform.replica_count("markdown") == 0
+        assert platform.autoscaler.wasted_warm_ms.get("markdown", 0.0) > 0.0

@@ -48,6 +48,15 @@ class TestMain:
         assert main(["chaos", "-r", "10"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_run_prewarm_reports_the_policy_ladder(self, capsys):
+        assert main(["prewarm", "-r", "1", "--requests", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "X13" in out
+        for policy in ("reactive", "fixed", "histogram", "learned", "oracle"):
+            assert policy in out
+        assert "predictive beats fixed keep-alive:" in out
+        assert "oracle bounds the gap:" in out
+
     def test_all_known_experiments_have_runners(self):
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
@@ -66,6 +75,15 @@ class TestArgumentValidation:
         (["fleet-study", "-w", "0"], "--workers"),
         (["fleet-study", "--requests", "0"], "--requests"),
         (["fleet-study", "--requests", "-3"], "--requests"),
+        (["prewarm", "-r", "0"], "--repetitions"),
+        (["prewarm", "-r", "-2"], "--repetitions"),
+        (["prewarm", "-s", "0"], "--seed"),
+        (["prewarm", "-s", "-7"], "--seed"),
+        (["prewarm", "--requests", "0"], "--requests"),
+        (["prewarm", "--requests", "-1"], "--requests"),
+        (["prewarm", "--horizon", "0"], "--horizon"),
+        (["prewarm", "--horizon", "-4"], "--horizon"),
+        (["prewarm", "--horizon", "1"], "--horizon"),
     ])
     def test_non_positive_knobs_exit_2_with_a_clear_message(
             self, capsys, argv, flag):
